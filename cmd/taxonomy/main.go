@@ -1,0 +1,40 @@
+// Command taxonomy regenerates the paper's Figure 1 and Tables I–II
+// from the engines' self-descriptions.
+//
+// Usage:
+//
+//	taxonomy           # print all three artifacts
+//	taxonomy -fig1     # only Figure 1
+//	taxonomy -table1   # only Table I
+//	taxonomy -table2   # only Table II
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/systems"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "print Figure 1 (dimension taxonomy)")
+	table1 := flag.Bool("table1", false, "print Table I (data model x abstraction)")
+	table2 := flag.Bool("table2", false, "print Table II (system characteristics)")
+	flag.Parse()
+
+	all := !*fig1 && !*table1 && !*table2
+	engines := systems.NewRegistry(spark.DefaultConfig()).Engines()
+
+	if all || *fig1 {
+		fmt.Println("Fig. 1: dimensions for organizing RDF query processing methods")
+		fmt.Println(core.RenderFig1(engines))
+	}
+	if all || *table1 {
+		fmt.Println(core.RenderTableI(engines))
+	}
+	if all || *table2 {
+		fmt.Println(core.RenderTableII(engines))
+	}
+}

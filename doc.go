@@ -1,0 +1,12 @@
+// Package repro reproduces "RDF Query Answering Using Apache Spark:
+// Review and Assessment" (Agathangelos, Troullinou, Kondylakis,
+// Stefanidis, Plexousakis — ICDE Workshops 2018) as a working Go
+// library: a simulated Spark substrate (RDD, DataFrames, Spark SQL,
+// GraphX, GraphFrames), a full RDF + SPARQL stack, and from-scratch
+// implementations of all nine systems the survey covers, plus the
+// assessment harness that measures them against each other.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// per-table/figure reproduction record. The benchmarks in this package
+// (bench_test.go) regenerate every artifact of the paper.
+package repro

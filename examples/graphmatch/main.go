@@ -1,0 +1,63 @@
+// Graphmatch: runs the three GraphX-based engines (S2X, the subgraph
+// matcher of Kassaie, and Spar(k)ql) plus the GraphFrames engine on
+// star and linear queries, showing how each trades supersteps and
+// messages for shuffle — the cost profile of the survey's graph
+// processing category.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/sparql"
+	"repro/internal/systems/gframes"
+	"repro/internal/systems/gxsubgraph"
+	"repro/internal/systems/s2x"
+	"repro/internal/systems/sparkql"
+	"repro/internal/workload"
+)
+
+func main() {
+	triples := workload.GenerateShop(workload.MediumShop())
+	queries := []struct {
+		label string
+		q     *sparql.Query
+	}{
+		{"star: price+caption", sparql.MustParse(fmt.Sprintf(
+			`SELECT ?p ?price ?cap WHERE { ?p <%sprice> ?price . ?p <%scaption> ?cap }`,
+			workload.ShopNS, workload.ShopNS))},
+		{"linear: follows->likes", sparql.MustParse(fmt.Sprintf(
+			`SELECT ?a ?prod WHERE { ?a <%sfollows> ?b . ?b <%slikes> ?prod }`,
+			workload.ShopNS, workload.ShopNS))},
+		{"linear-3: follows->follows->likes", sparql.MustParse(fmt.Sprintf(
+			`SELECT ?a ?prod WHERE { ?a <%sfollows> ?b . ?b <%sfollows> ?c . ?c <%slikes> ?prod }`,
+			workload.ShopNS, workload.ShopNS, workload.ShopNS))},
+	}
+
+	engines := []core.Engine{
+		s2x.New(spark.NewContext(spark.DefaultConfig())),
+		gxsubgraph.New(spark.NewContext(spark.DefaultConfig())),
+		sparkql.New(spark.NewContext(spark.DefaultConfig())),
+		gframes.New(spark.NewContext(spark.DefaultConfig())),
+	}
+	for _, e := range engines {
+		if err := e.Load(triples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("dataset: %d triples (WatDiv-style shop)\n", len(triples))
+	for _, item := range queries {
+		fmt.Printf("\n%s\n", item.label)
+		fmt.Printf("  %-12s %8s %12s %12s %12s\n", "system", "rows", "supersteps", "messages", "shuffleRec")
+		for _, e := range engines {
+			m := core.RunQuery(e, item.label, item.q, nil)
+			if m.Err != nil {
+				log.Fatalf("%s: %v", e.Info().Name, m.Err)
+			}
+			fmt.Printf("  %-12s %8d %12d %12d %12d\n",
+				e.Info().Name, m.Rows, m.Activity.Supersteps, m.Activity.MessagesSent, m.Activity.ShuffleRecords)
+		}
+	}
+}

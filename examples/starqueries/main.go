@@ -1,0 +1,61 @@
+// Starqueries: demonstrates HAQWA's locality guarantees — the reason
+// the survey highlights hash-by-subject fragmentation. Star queries run
+// with zero shuffle out of the box; linear queries shuffle unless the
+// workload-aware allocation has replicated the link targets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/spark"
+	"repro/internal/sparql"
+	"repro/internal/systems/haqwa"
+	"repro/internal/workload"
+)
+
+func main() {
+	triples := workload.GenerateUniversity(workload.MediumUniversity())
+
+	star := sparql.MustParse(fmt.Sprintf(
+		`SELECT ?s ?n ?a WHERE { ?s <%sname> ?n . ?s <%sage> ?a }`,
+		workload.UnivNS, workload.UnivNS))
+	linear := sparql.MustParse(fmt.Sprintf(
+		`SELECT ?st ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS))
+
+	run := func(label string, e *haqwa.Engine, q *sparql.Query) {
+		before := e.Context().Snapshot()
+		res, err := e.Execute(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := e.Context().Snapshot().Diff(before)
+		fmt.Printf("%-34s %6d rows   shuffle=%-6d stages=%d\n",
+			label, res.Len(), d.ShuffleRecords, d.Stages)
+	}
+
+	// Plain hash fragmentation.
+	e1 := haqwa.New(spark.NewContext(spark.DefaultConfig()))
+	if err := e1.Load(triples); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HAQWA, hash-by-subject fragmentation only:")
+	run("  star (name+age)", e1, star)
+	run("  linear (advisor->worksFor)", e1, linear)
+
+	// With the workload-aware allocation step for the linear query.
+	e2 := haqwa.New(spark.NewContext(spark.DefaultConfig()))
+	if err := e2.Load(triples); err != nil {
+		log.Fatal(err)
+	}
+	e2.Allocate([]*sparql.Query{linear})
+	fmt.Println("\nHAQWA, after workload-aware allocation of the linear query:")
+	run("  star (name+age)", e2, star)
+	run("  linear (advisor->worksFor)", e2, linear)
+
+	fmt.Println("\nThe allocation replicates advisor-link targets into each")
+	fmt.Println("subject's partition, so the registered query form becomes as")
+	fmt.Println("local as a star — the trade-off HAQWA proposes between data")
+	fmt.Println("distribution complexity and query answering efficiency.")
+}

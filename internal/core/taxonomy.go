@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFig1 regenerates the paper's Figure 1: the taxonomy tree of the
+// dimensions used to organize RDF query processing methods. The tree is
+// assembled from the registered engines' SystemInfo, so it reflects the
+// code, not a hardcoded table.
+func RenderFig1(engines []Engine) string {
+	var b strings.Builder
+	b.WriteString("RDF Query Processing on Apache Spark\n")
+	b.WriteString("├── Data Model\n")
+	for i, m := range []DataModel{TripleModel, GraphModel} {
+		branch := "├──"
+		if i == 1 {
+			branch = "└──"
+		}
+		fmt.Fprintf(&b, "│   %s %s: %s\n", branch, m, strings.Join(systemsWithModel(engines, m), ", "))
+	}
+	b.WriteString("└── Apache Spark Abstraction\n")
+	abstractions := Abstractions()
+	for i, a := range abstractions {
+		branch := "├──"
+		if i == len(abstractions)-1 {
+			branch = "└──"
+		}
+		names := systemsWithAbstraction(engines, a)
+		label := strings.Join(names, ", ")
+		if label == "" {
+			label = "—"
+		}
+		fmt.Fprintf(&b, "    %s %s: %s\n", branch, a, label)
+	}
+	return b.String()
+}
+
+func systemsWithModel(engines []Engine, m DataModel) []string {
+	var out []string
+	for _, e := range engines {
+		if e.Info().Model == m {
+			out = append(out, e.Info().Name)
+		}
+	}
+	return out
+}
+
+func systemsWithAbstraction(engines []Engine, a Abstraction) []string {
+	var out []string
+	for _, e := range engines {
+		for _, ea := range e.Info().Abstractions {
+			if ea == a {
+				out = append(out, e.Info().Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RenderTableI regenerates Table I: the data-model × Spark-abstraction
+// matrix with each system's citation in its cell.
+func RenderTableI(engines []Engine) string {
+	models := []DataModel{TripleModel, GraphModel}
+	var b strings.Builder
+	b.WriteString("TABLE I: taxonomy of RDF query processing approaches\n")
+	fmt.Fprintf(&b, "%-14s | %-24s | %-24s\n", "Abstraction", models[0], models[1])
+	b.WriteString(strings.Repeat("-", 68) + "\n")
+	for _, a := range Abstractions() {
+		cells := make([]string, 2)
+		for mi, m := range models {
+			var refs []string
+			for _, e := range engines {
+				info := e.Info()
+				if info.Model != m {
+					continue
+				}
+				for _, ea := range info.Abstractions {
+					if ea == a {
+						refs = append(refs, info.Citation)
+						break
+					}
+				}
+			}
+			sort.Slice(refs, func(i, j int) bool { return citationNum(refs[i]) < citationNum(refs[j]) })
+			cells[mi] = strings.Join(refs, ", ")
+		}
+		fmt.Fprintf(&b, "%-14s | %-24s | %-24s\n", a, cells[0], cells[1])
+	}
+	return b.String()
+}
+
+// citationNum extracts the number from a "[N]" citation for ordering.
+func citationNum(c string) int {
+	n := 0
+	fmt.Sscanf(strings.Trim(c, "[]"), "%d", &n)
+	return n
+}
+
+// RenderTableII regenerates Table II: the per-system characteristics
+// (query processing style, optimization, partitioning, fragment).
+func RenderTableII(engines []Engine) string {
+	var b strings.Builder
+	b.WriteString("TABLE II: additional characteristics of the RDF query processing approaches\n")
+	fmt.Fprintf(&b, "%-10s | %-18s | %-12s | %-26s | %-6s\n",
+		"System", "Query Processing", "Optimization", "Partitioning", "SPARQL")
+	b.WriteString(strings.Repeat("-", 86) + "\n")
+	for _, e := range engines {
+		info := e.Info()
+		opt := "No"
+		if info.Optimized {
+			opt = "Yes"
+		}
+		fmt.Fprintf(&b, "%-10s | %-18s | %-12s | %-26s | %-6s\n",
+			info.Citation, info.QueryProcessing, opt, info.Partitioning, info.SPARQL)
+	}
+	return b.String()
+}
+
+// RenderAssessment formats the assessment matrix: one block per query,
+// one row per system, with correctness, time, and shuffle volume — the
+// measurable version of the survey's qualitative comparison.
+func RenderAssessment(a *Assessment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Assessment over %s (%d triples)\n", a.Dataset, a.Triples)
+	byQuery := map[string][]Measurement{}
+	var order []string
+	for _, m := range a.Measurements {
+		if _, ok := byQuery[m.Query]; !ok {
+			order = append(order, m.Query)
+		}
+		byQuery[m.Query] = append(byQuery[m.Query], m)
+	}
+	for _, q := range order {
+		ms := byQuery[q]
+		fmt.Fprintf(&b, "\n%s (%s, %d rows)\n", q, ms[0].Shape, ms[0].Rows)
+		fmt.Fprintf(&b, "  %-12s %-8s %10s %14s %12s %10s\n", "system", "ok", "time", "shuffleRec", "broadcast", "stages")
+		for _, m := range ms {
+			status := "ok"
+			if m.Err != nil {
+				// BGP-fragment engines legitimately reject BGP+ operators.
+				status = "unsup"
+			} else if !m.Correct {
+				status = "WRONG"
+			}
+			fmt.Fprintf(&b, "  %-12s %-8s %10s %14d %12d %10d\n",
+				m.System, status, m.Duration.Round(10e3), m.Activity.ShuffleRecords, m.Activity.BroadcastRecords, m.Activity.Stages)
+		}
+	}
+	return b.String()
+}
+
+// RenderAssessmentCSV formats the assessment as CSV for downstream
+// analysis: one row per (query, system) measurement.
+func RenderAssessmentCSV(a *Assessment) string {
+	var b strings.Builder
+	b.WriteString("dataset,triples,query,shape,system,status,rows,duration_ns,shuffle_records,shuffle_bytes,broadcast_records,stages,tasks,supersteps,messages\n")
+	for _, m := range a.Measurements {
+		status := "ok"
+		if m.Err != nil {
+			status = "unsupported"
+		} else if !m.Correct {
+			status = "wrong"
+		}
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			a.Dataset, a.Triples, m.Query, m.Shape, m.System, status, m.Rows, m.Duration.Nanoseconds(),
+			m.Activity.ShuffleRecords, m.Activity.ShuffleBytes, m.Activity.BroadcastRecords,
+			m.Activity.Stages, m.Activity.Tasks, m.Activity.Supersteps, m.Activity.MessagesSent)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+func allStrategies() []Strategy {
+	linear := sparql.MustParse(fmt.Sprintf(
+		`SELECT ?st ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS))
+	return []Strategy{
+		HashSubject{},
+		Vertical{},
+		Semantic{},
+		WorkloadAware{Queries: []*sparql.Query{linear}},
+		LabelPropagation{Rounds: 4},
+	}
+}
+
+func TestPlacementsAreValid(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	const n = 4
+	for _, s := range allStrategies() {
+		place := s.Place(rdf.Dedupe(triples), n)
+		if len(place) != len(rdf.Dedupe(triples)) {
+			t.Fatalf("%s: placement length %d", s.Name(), len(place))
+		}
+		for i, p := range place {
+			if p < 0 || p >= n {
+				t.Fatalf("%s: triple %d on partition %d", s.Name(), i, p)
+			}
+		}
+	}
+}
+
+func TestPlacementsDeterministic(t *testing.T) {
+	triples := rdf.Dedupe(workload.GenerateUniversity(workload.SmallUniversity()))
+	for _, s := range allStrategies() {
+		a := s.Place(triples, 4)
+		b := s.Place(triples, 4)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: non-deterministic at %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSubjectBasedStrategiesKeepStarsLocal(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	for _, s := range []Strategy{HashSubject{}, Semantic{}} {
+		q := Evaluate(s, triples, 4)
+		if q.StarLocality != 1.0 {
+			t.Fatalf("%s: star locality %.2f, want 1.0", s.Name(), q.StarLocality)
+		}
+	}
+}
+
+func TestVerticalBreaksStars(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	q := Evaluate(Vertical{}, triples, 4)
+	if q.StarLocality >= 0.9 {
+		t.Fatalf("vertical star locality %.2f should be low", q.StarLocality)
+	}
+}
+
+func TestWorkloadAwareCutsLinkEdges(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	hash := Evaluate(HashSubject{}, triples, 4)
+	linear := sparql.MustParse(fmt.Sprintf(
+		`SELECT ?st ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS))
+	aware := Evaluate(WorkloadAware{Queries: []*sparql.Query{linear}}, triples, 4)
+	if aware.EdgeCut >= hash.EdgeCut {
+		t.Fatalf("workload-aware edge cut %.2f not below hash %.2f", aware.EdgeCut, hash.EdgeCut)
+	}
+	if aware.StarLocality != 1.0 {
+		t.Fatalf("workload-aware must keep stars local, got %.2f", aware.StarLocality)
+	}
+}
+
+func TestLabelPropagationReducesEdgeCut(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	hash := Evaluate(HashSubject{}, triples, 4)
+	lp := Evaluate(LabelPropagation{Rounds: 5}, triples, 4)
+	if lp.EdgeCut >= hash.EdgeCut {
+		t.Fatalf("label propagation edge cut %.2f not below hash %.2f", lp.EdgeCut, hash.EdgeCut)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	q := Evaluate(HashSubject{}, nil, 4)
+	if q.Balance != 1.0 || q.EdgeCut != 0 || q.StarLocality != 1.0 {
+		t.Fatalf("empty dataset quality = %+v", q)
+	}
+	one := []rdf.Triple{{S: rdf.NewIRI("http://a"), P: rdf.NewIRI("http://p"), O: rdf.NewIRI("http://b")}}
+	q = Evaluate(HashSubject{}, one, 2)
+	if q.StarLocality != 1.0 {
+		t.Fatalf("single triple quality = %+v", q)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	s := Quality{Balance: 1.5, EdgeCut: 0.25, StarLocality: 1}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

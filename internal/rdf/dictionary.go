@@ -1,0 +1,115 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TermID is a dense integer identifier for a term. HAQWA [7] encodes
+// string values to integers to shrink data volume and speed processing;
+// the dictionary is shared by every engine that wants encoded triples.
+type TermID uint32
+
+// EncodedTriple is a triple in id space.
+type EncodedTriple struct {
+	S, P, O TermID
+}
+
+// Dictionary maps terms to dense ids and back. It is safe for
+// concurrent encoding (engines load partitions in parallel).
+type Dictionary struct {
+	mu    sync.RWMutex
+	ids   map[Term]TermID
+	terms []Term
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[Term]TermID)}
+}
+
+// Encode returns the id for t, assigning the next dense id on first
+// sight.
+func (d *Dictionary) Encode(t Term) TermID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id = TermID(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the id of t without assigning one.
+func (d *Dictionary) Lookup(t Term) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Decode returns the term for id.
+func (d *Dictionary) Decode(id TermID) (Term, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.terms) {
+		return Term{}, fmt.Errorf("rdf: unknown term id %d", id)
+	}
+	return d.terms[id], nil
+}
+
+// MustDecode is Decode for ids known to be valid; it panics otherwise
+// (programmer error, not data error).
+func (d *Dictionary) MustDecode(id TermID) Term {
+	t, err := d.Decode(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of distinct terms seen.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// EncodeTriple encodes all three positions.
+func (d *Dictionary) EncodeTriple(t Triple) EncodedTriple {
+	return EncodedTriple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)}
+}
+
+// DecodeTriple reverses EncodeTriple.
+func (d *Dictionary) DecodeTriple(e EncodedTriple) (Triple, error) {
+	s, err := d.Decode(e.S)
+	if err != nil {
+		return Triple{}, err
+	}
+	p, err := d.Decode(e.P)
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := d.Decode(e.O)
+	if err != nil {
+		return Triple{}, err
+	}
+	return Triple{S: s, P: p, O: o}, nil
+}
+
+// EncodeAll encodes a dataset.
+func (d *Dictionary) EncodeAll(ts []Triple) []EncodedTriple {
+	out := make([]EncodedTriple, len(ts))
+	for i, t := range ts {
+		out[i] = d.EncodeTriple(t)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package rdf
+
+import "sort"
+
+// Graph is an in-memory triple store with the positional indexes the
+// reference evaluator needs (SPO iteration plus by-predicate and
+// by-subject lookup). Engines do not use it — they manage their own
+// distributed layouts — but tests verify every engine against it.
+type Graph struct {
+	triples []Triple
+	byP     map[string][]int
+	byS     map[Term][]int
+	byO     map[Term][]int
+	set     map[Triple]bool
+}
+
+// NewGraph builds a graph, deduplicating triples (RDF graphs are sets).
+func NewGraph(triples []Triple) *Graph {
+	g := &Graph{
+		byP: make(map[string][]int),
+		byS: make(map[Term][]int),
+		byO: make(map[Term][]int),
+		set: make(map[Triple]bool),
+	}
+	for _, t := range triples {
+		g.Add(t)
+	}
+	return g
+}
+
+// Add inserts a triple if not already present; it reports whether the
+// triple was new.
+func (g *Graph) Add(t Triple) bool {
+	if g.set[t] {
+		return false
+	}
+	i := len(g.triples)
+	g.triples = append(g.triples, t)
+	g.set[t] = true
+	g.byP[t.P.Value] = append(g.byP[t.P.Value], i)
+	g.byS[t.S] = append(g.byS[t.S], i)
+	g.byO[t.O] = append(g.byO[t.O], i)
+	return true
+}
+
+// Has reports membership.
+func (g *Graph) Has(t Triple) bool { return g.set[t] }
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns all triples (callers must not modify the slice).
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// WithPredicate returns the triples with the given predicate IRI.
+func (g *Graph) WithPredicate(p string) []Triple {
+	idx := g.byP[p]
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// WithSubject returns the triples with the given subject.
+func (g *Graph) WithSubject(s Term) []Triple {
+	idx := g.byS[s]
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// WithObject returns the triples with the given object.
+func (g *Graph) WithObject(o Term) []Triple {
+	idx := g.byO[o]
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// Predicates returns the distinct predicate IRIs, sorted.
+func (g *Graph) Predicates() []string {
+	out := make([]string, 0, len(g.byP))
+	for p := range g.byP {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subjects returns the distinct subject terms (unsorted).
+func (g *Graph) Subjects() []Term {
+	out := make([]Term, 0, len(g.byS))
+	for s := range g.byS {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Stats summarizes a dataset: the statistics SPARQLGX [13] collects to
+// reorder joins (counts of distinct subjects, predicates, objects, and
+// per-predicate triple counts).
+type Stats struct {
+	Triples            int
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+	PredicateCounts    map[string]int
+}
+
+// ComputeStats scans the dataset once and builds Stats.
+func ComputeStats(triples []Triple) Stats {
+	subj := make(map[Term]bool)
+	pred := make(map[string]int)
+	obj := make(map[Term]bool)
+	for _, t := range triples {
+		subj[t.S] = true
+		pred[t.P.Value]++
+		obj[t.O] = true
+	}
+	return Stats{
+		Triples:            len(triples),
+		DistinctSubjects:   len(subj),
+		DistinctPredicates: len(pred),
+		DistinctObjects:    len(obj),
+		PredicateCounts:    pred,
+	}
+}
+
+// Dedupe returns the distinct triples of ts in first-occurrence order.
+// RDF graphs are sets; engines call this when loading raw streams that
+// may repeat statements.
+func Dedupe(ts []Triple) []Triple {
+	seen := make(map[Triple]bool, len(ts))
+	out := make([]Triple, 0, len(ts))
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package rdf
+
+// RDFS inference: the vocabulary-description entailment rules the
+// survey's background section introduces ("RDF Schema ... includes a
+// set of inference rules used to generate new, implicit triples from
+// explicit ones"). Materialize implements the core rule set:
+//
+//	rdfs2  (p domain c), (s p o)        => (s type c)
+//	rdfs3  (p range c),  (s p o), o∈U∪B => (o type c)
+//	rdfs5  (p subPropertyOf q), (q subPropertyOf r) => (p subPropertyOf r)
+//	rdfs7  (p subPropertyOf q), (s p o) => (s q o)
+//	rdfs9  (c subClassOf d), (s type c) => (s type d)
+//	rdfs11 (c subClassOf d), (d subClassOf e) => (c subClassOf e)
+//
+// Materialization runs to fixpoint, so chained schemas close fully.
+
+// Materialize returns the input plus all triples entailed by the RDFS
+// rules above, deduplicated. The input slice is not modified.
+func Materialize(triples []Triple) []Triple {
+	g := NewGraph(triples)
+	typeIRI := NewIRI(RDFType)
+	subClass := NewIRI(RDFSSubClassOf)
+	subProp := NewIRI(RDFSSubPropertyOf)
+
+	changed := true
+	for changed {
+		changed = false
+
+		// Schema closure first (rdfs5, rdfs11) so instance rules see the
+		// transitive schema.
+		for _, rule := range []Term{subClass, subProp} {
+			links := g.WithPredicate(rule.Value)
+			for _, a := range links {
+				for _, b := range g.WithSubject(a.O) {
+					if b.P.Value == rule.Value {
+						if g.Add(Triple{S: a.S, P: rule, O: b.O}) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+
+		// rdfs7: subproperty entailment.
+		for _, sp := range g.WithPredicate(RDFSSubPropertyOf) {
+			if !sp.S.IsIRI() || !sp.O.IsIRI() {
+				continue
+			}
+			for _, t := range g.WithPredicate(sp.S.Value) {
+				if g.Add(Triple{S: t.S, P: NewIRI(sp.O.Value), O: t.O}) {
+					changed = true
+				}
+			}
+		}
+
+		// rdfs2: domain typing.
+		for _, dom := range g.WithPredicate(RDFSDomain) {
+			if !dom.S.IsIRI() {
+				continue
+			}
+			for _, t := range g.WithPredicate(dom.S.Value) {
+				if g.Add(Triple{S: t.S, P: typeIRI, O: dom.O}) {
+					changed = true
+				}
+			}
+		}
+
+		// rdfs3: range typing (object must be a resource).
+		for _, rng := range g.WithPredicate(RDFSRange) {
+			if !rng.S.IsIRI() {
+				continue
+			}
+			for _, t := range g.WithPredicate(rng.S.Value) {
+				if t.O.IsLiteral() {
+					continue
+				}
+				if g.Add(Triple{S: t.O, P: typeIRI, O: rng.O}) {
+					changed = true
+				}
+			}
+		}
+
+		// rdfs9: subclass typing.
+		for _, sc := range g.WithPredicate(RDFSSubClassOf) {
+			for _, t := range g.WithObject(sc.S) {
+				if t.P.Value != RDFType {
+					continue
+				}
+				if g.Add(Triple{S: t.S, P: typeIRI, O: sc.O}) {
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]Triple, g.Len())
+	copy(out, g.Triples())
+	return out
+}

@@ -1,0 +1,86 @@
+package spark
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Fault injection: Spark's headline property is that lost tasks are
+// recomputed from lineage without changing results. The simulation
+// reproduces that contract so engine tests can assert answers are
+// identical under injected task failures.
+//
+// A FaultPlan decides, per task attempt, whether the attempt fails
+// before producing output. Failed attempts are retried up to
+// MaxAttempts; the retry is metered. Because tasks in this simulation
+// are pure functions of their input partition (lineage), a retry is
+// simply re-running the function — exactly Spark's recomputation
+// model.
+
+// FaultPlan injects task failures deterministically.
+type FaultPlan struct {
+	// FailureRate is the probability an attempt fails, in [0,1).
+	FailureRate float64
+	// MaxAttempts bounds retries per task (Spark's spark.task.maxFailures,
+	// default 4).
+	MaxAttempts int
+	// Seed makes the injection deterministic.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultPlan returns a plan failing attempts with the given rate.
+func NewFaultPlan(rate float64, seed int64) *FaultPlan {
+	return &FaultPlan{FailureRate: rate, MaxAttempts: 4, Seed: seed}
+}
+
+// attemptFails reports whether the next attempt should fail.
+func (f *FaultPlan) attemptFails() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Float64() < f.FailureRate
+}
+
+// InjectFaults installs a fault plan on the context; nil disables
+// injection. Subsequent tasks run under the plan.
+func (c *Context) InjectFaults(plan *FaultPlan) {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	c.faults = plan
+}
+
+// TaskRetries returns the number of task attempts that failed and were
+// retried.
+func (c *Context) TaskRetries() int64 { return c.taskRetries.Load() }
+
+// runAttempts executes one task under the installed fault plan,
+// retrying failed attempts. It panics when a task exhausts
+// MaxAttempts, mirroring Spark aborting the stage.
+func (c *Context) runAttempts(task func()) {
+	c.faultMu.Lock()
+	plan := c.faults
+	c.faultMu.Unlock()
+	if plan == nil {
+		task()
+		return
+	}
+	max := plan.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		if !plan.attemptFails() {
+			task()
+			return
+		}
+		c.taskRetries.Add(1)
+		if attempt >= max {
+			panic("spark: task failed after max attempts (stage aborted)")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package graphx
+
+import (
+	"math"
+
+	"repro/internal/spark"
+)
+
+// PageRank runs the classic iterative PageRank for numIter rounds with
+// the given damping (reset) factor, like GraphX's staticPageRank.
+func PageRank[VD, ED any](g *Graph[VD, ED], numIter int, damping float64) map[VertexID]float64 {
+	out := g.OutDegrees()
+	ranked := MapVertices(g, func(VertexID, VD) float64 { return 1.0 })
+	n := ranked.NumVertices()
+	if n == 0 {
+		return map[VertexID]float64{}
+	}
+	for i := 0; i < numIter; i++ {
+		contribs := AggregateMessages(ranked, func(c *EdgeContext[float64, ED, float64]) {
+			d := out[c.Triplet.Src]
+			if d > 0 {
+				c.SendToDst(c.Triplet.SrcAttr / float64(d))
+			}
+		}, func(a, b float64) float64 { return a + b })
+		ranked = MapVertices(ranked, func(id VertexID, _ float64) float64 {
+			return (1 - damping) + damping*contribs[id]
+		})
+		ranked.ctx.AddSupersteps(1)
+	}
+	res := make(map[VertexID]float64, n)
+	for _, v := range ranked.Vertices().Collect() {
+		res[v.ID] = v.Attr
+	}
+	return res
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex id
+// reachable from it (treating edges as undirected), like GraphX's
+// connectedComponents, implemented as a Pregel program.
+func ConnectedComponents[VD, ED any](g *Graph[VD, ED]) map[VertexID]VertexID {
+	init := MapVertices(g, func(id VertexID, _ VD) VertexID { return id })
+	result := Pregel(init, VertexID(math.MaxInt64), 0,
+		func(id VertexID, attr VertexID, msg VertexID) VertexID {
+			if msg < attr {
+				return msg
+			}
+			return attr
+		},
+		func(t Triplet[VertexID, ED]) []spark.Pair[VertexID, VertexID] {
+			var msgs []spark.Pair[VertexID, VertexID]
+			if t.SrcAttr < t.DstAttr {
+				msgs = append(msgs, spark.Pair[VertexID, VertexID]{Key: t.Dst, Value: t.SrcAttr})
+			} else if t.DstAttr < t.SrcAttr {
+				msgs = append(msgs, spark.Pair[VertexID, VertexID]{Key: t.Src, Value: t.DstAttr})
+			}
+			return msgs
+		},
+		func(a, b VertexID) VertexID {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	res := make(map[VertexID]VertexID)
+	for _, v := range result.Vertices().Collect() {
+		res[v.ID] = v.Attr
+	}
+	return res
+}
+
+// TriangleCount returns, per vertex, the number of triangles through it
+// (edges treated as undirected, deduplicated), like GraphX's
+// triangleCount.
+func TriangleCount[VD, ED any](g *Graph[VD, ED]) map[VertexID]int {
+	neigh := make(map[VertexID]map[VertexID]bool)
+	add := func(a, b VertexID) {
+		if a == b {
+			return
+		}
+		if neigh[a] == nil {
+			neigh[a] = make(map[VertexID]bool)
+		}
+		neigh[a][b] = true
+	}
+	for _, e := range g.Edges().Collect() {
+		add(e.Src, e.Dst)
+		add(e.Dst, e.Src)
+	}
+	counts := make(map[VertexID]int)
+	for v, ns := range neigh {
+		for u := range ns {
+			if u <= v {
+				continue
+			}
+			for w := range ns {
+				if w <= u {
+					continue
+				}
+				if neigh[u][w] {
+					counts[v]++
+					counts[u]++
+					counts[w]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// ShortestPaths computes the hop distance from every vertex to each
+// landmark (following edges in both directions), like GraphX's
+// ShortestPaths, as a Pregel program. Unreachable landmarks are absent
+// from a vertex's map.
+func ShortestPaths[VD, ED any](g *Graph[VD, ED], landmarks []VertexID) map[VertexID]map[VertexID]int {
+	isLandmark := make(map[VertexID]bool, len(landmarks))
+	for _, l := range landmarks {
+		isLandmark[l] = true
+	}
+	dist := make(map[VertexID]map[VertexID]int)
+	for _, v := range g.Vertices().Collect() {
+		m := make(map[VertexID]int)
+		if isLandmark[v.ID] {
+			m[v.ID] = 0
+		}
+		dist[v.ID] = m
+	}
+	// Iterate to fixpoint: relax along both edge directions.
+	edges := g.Edges().Collect()
+	changed := true
+	rounds := 0
+	for changed {
+		changed = false
+		rounds++
+		msgs := 0
+		for _, e := range edges {
+			for _, pair := range [][2]VertexID{{e.Src, e.Dst}, {e.Dst, e.Src}} {
+				from, to := pair[0], pair[1]
+				for lm, d := range dist[from] {
+					if cur, ok := dist[to][lm]; !ok || d+1 < cur {
+						dist[to][lm] = d + 1
+						changed = true
+						msgs++
+					}
+				}
+			}
+		}
+		g.ctx.AddSupersteps(1)
+		g.ctx.AddMessages(msgs)
+		if rounds > g.NumVertices()+1 {
+			break
+		}
+	}
+	return dist
+}

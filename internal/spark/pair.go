@@ -1,0 +1,309 @@
+package spark
+
+// Pair is a key/value record, the element type of Spark's pair RDDs.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KeyBy turns each record into a (key(v), v) pair, like RDD.keyBy. The
+// SPARQLGX engine uses this to join triple-pattern results on their
+// shared variable.
+func KeyBy[T any, K comparable](r *RDD[T], key func(T) K) *RDD[Pair[K, T]] {
+	return Map(r, func(v T) Pair[K, T] { return Pair[K, T]{key(v), v} })
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(p Pair[K, V]) V { return p.Value })
+}
+
+// MapValues transforms values while keeping keys (and any existing key
+// partitioning) intact.
+func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], f func(V) W) *RDD[Pair[K, W]] {
+	out := Map(r, func(p Pair[K, V]) Pair[K, W] { return Pair[K, W]{p.Key, f(p.Value)} })
+	out.keyedHint = r.keyedHint
+	out.partDesc = r.partDesc
+	return out
+}
+
+// PartitionBy redistributes a pair RDD so every record lands on the
+// partition chosen by p. This is the fundamental wide transformation:
+// the whole dataset crosses a shuffle boundary and is metered as such.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD[Pair[K, V]] {
+	n := p.NumPartitions()
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Pair[K, V], n)
+	for _, part := range r.parts {
+		for _, rec := range part {
+			idx := p.Partition(rec.Key)
+			out[idx] = append(out[idx], rec)
+		}
+	}
+	r.ctx.addShuffle(int64(r.Count()), estimateBytes(r.Collect()))
+	res := fromParts(r.ctx, out, p.Describe())
+	res.keyedHint = true
+	return res
+}
+
+// IsKeyPartitioned reports whether the pair RDD has already been placed
+// by a key partitioner, in which case co-partitioned joins skip the
+// shuffle for that side (Spark's "known partitioner" optimization).
+func IsKeyPartitioned[K comparable, V any](r *RDD[Pair[K, V]]) bool { return r.keyedHint }
+
+// ReduceByKey merges values per key with the associative function f,
+// like PairRDDFunctions.reduceByKey. Map-side combining happens first, so
+// only one record per (partition, key) crosses the shuffle — the
+// accounting reflects that.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V) *RDD[Pair[K, V]] {
+	// Map-side combine.
+	combined := make([][]Pair[K, V], len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		m := make(map[K]V)
+		order := make([]K, 0)
+		for _, rec := range r.parts[i] {
+			if cur, ok := m[rec.Key]; ok {
+				m[rec.Key] = f(cur, rec.Value)
+			} else {
+				m[rec.Key] = rec.Value
+				order = append(order, rec.Key)
+			}
+		}
+		part := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			part = append(part, Pair[K, V]{k, m[k]})
+		}
+		combined[i] = part
+	})
+	pre := fromParts(r.ctx, combined, r.partDesc)
+
+	// Shuffle combined records, then reduce within each partition.
+	shuffled := PartitionBy(pre, NewHashPartitioner[K](len(r.parts)))
+	out := make([][]Pair[K, V], len(shuffled.parts))
+	r.ctx.runTasks(len(shuffled.parts), func(i int) {
+		m := make(map[K]V)
+		order := make([]K, 0)
+		for _, rec := range shuffled.parts[i] {
+			if cur, ok := m[rec.Key]; ok {
+				m[rec.Key] = f(cur, rec.Value)
+			} else {
+				m[rec.Key] = rec.Value
+				order = append(order, rec.Key)
+			}
+		}
+		part := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			part = append(part, Pair[K, V]{k, m[k]})
+		}
+		out[i] = part
+	})
+	res := fromParts(r.ctx, out, "hash")
+	res.keyedHint = true
+	return res
+}
+
+// GroupByKey collects all values per key, like
+// PairRDDFunctions.groupByKey. No map-side combine: the full dataset is
+// shuffled, which is exactly why the hybrid study prefers reduceByKey.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[Pair[K, []V]] {
+	shuffled := r
+	if !r.keyedHint {
+		shuffled = PartitionBy(r, NewHashPartitioner[K](len(r.parts)))
+	}
+	out := make([][]Pair[K, []V], len(shuffled.parts))
+	r.ctx.runTasks(len(shuffled.parts), func(i int) {
+		m := make(map[K][]V)
+		order := make([]K, 0)
+		for _, rec := range shuffled.parts[i] {
+			if _, ok := m[rec.Key]; !ok {
+				order = append(order, rec.Key)
+			}
+			m[rec.Key] = append(m[rec.Key], rec.Value)
+		}
+		part := make([]Pair[K, []V], 0, len(order))
+		for _, k := range order {
+			part = append(part, Pair[K, []V]{k, m[k]})
+		}
+		out[i] = part
+	})
+	res := fromParts(r.ctx, out, "hash")
+	res.keyedHint = true
+	return res
+}
+
+// Join computes the inner equi-join of two pair RDDs with a partitioned
+// (shuffle hash) join: both sides are co-partitioned by key, then each
+// partition is joined locally. Sides that are already key-partitioned
+// with the matching partition count skip their shuffle.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[V, W]]] {
+	n := len(a.parts)
+	if len(b.parts) > n {
+		n = len(b.parts)
+	}
+	p := NewHashPartitioner[K](n)
+	left := a
+	if !a.keyedHint || len(a.parts) != n {
+		left = PartitionBy(a, p)
+	}
+	right := b
+	if !b.keyedHint || len(b.parts) != n {
+		right = PartitionBy(b, p)
+	}
+	out := make([][]Pair[K, Tuple2[V, W]], n)
+	a.ctx.runTasks(n, func(i int) {
+		build := make(map[K][]V)
+		for _, rec := range left.parts[i] {
+			build[rec.Key] = append(build[rec.Key], rec.Value)
+		}
+		var joined []Pair[K, Tuple2[V, W]]
+		for _, rec := range right.parts[i] {
+			for _, v := range build[rec.Key] {
+				joined = append(joined, Pair[K, Tuple2[V, W]]{rec.Key, Tuple2[V, W]{v, rec.Value}})
+			}
+		}
+		out[i] = joined
+	})
+	res := fromParts(a.ctx, out, "hash")
+	res.keyedHint = true
+	return res
+}
+
+// LeftOuterJoin joins keeping every left record; unmatched rows carry
+// ok=false on the right value, like PairRDDFunctions.leftOuterJoin.
+func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[V, Opt[W]]]] {
+	n := len(a.parts)
+	if len(b.parts) > n {
+		n = len(b.parts)
+	}
+	p := NewHashPartitioner[K](n)
+	left := a
+	if !a.keyedHint || len(a.parts) != n {
+		left = PartitionBy(a, p)
+	}
+	right := b
+	if !b.keyedHint || len(b.parts) != n {
+		right = PartitionBy(b, p)
+	}
+	out := make([][]Pair[K, Tuple2[V, Opt[W]]], n)
+	a.ctx.runTasks(n, func(i int) {
+		probe := make(map[K][]W)
+		for _, rec := range right.parts[i] {
+			probe[rec.Key] = append(probe[rec.Key], rec.Value)
+		}
+		var joined []Pair[K, Tuple2[V, Opt[W]]]
+		for _, rec := range left.parts[i] {
+			matches := probe[rec.Key]
+			if len(matches) == 0 {
+				joined = append(joined, Pair[K, Tuple2[V, Opt[W]]]{rec.Key, Tuple2[V, Opt[W]]{rec.Value, Opt[W]{}}})
+				continue
+			}
+			for _, w := range matches {
+				joined = append(joined, Pair[K, Tuple2[V, Opt[W]]]{rec.Key, Tuple2[V, Opt[W]]{rec.Value, Opt[W]{Val: w, OK: true}}})
+			}
+		}
+		out[i] = joined
+	})
+	res := fromParts(a.ctx, out, "hash")
+	res.keyedHint = true
+	return res
+}
+
+// Opt is an optional value, used by outer joins.
+type Opt[T any] struct {
+	Val T
+	OK  bool
+}
+
+// BroadcastJoin joins a large pair RDD against a small one by shipping
+// the small side to every executor and probing it locally — no shuffle
+// of the large side. This is the broadcast-hash-join strategy the hybrid
+// study [21] contrasts with the partitioned join.
+func BroadcastJoin[K comparable, V, W any](large *RDD[Pair[K, V]], small *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[V, W]]] {
+	table := make(map[K][]W)
+	rows := small.Collect()
+	for _, rec := range rows {
+		table[rec.Key] = append(table[rec.Key], rec.Value)
+	}
+	large.ctx.addBroadcast(len(rows))
+	out := make([][]Pair[K, Tuple2[V, W]], len(large.parts))
+	large.ctx.runTasks(len(large.parts), func(i int) {
+		var joined []Pair[K, Tuple2[V, W]]
+		for _, rec := range large.parts[i] {
+			for _, w := range table[rec.Key] {
+				joined = append(joined, Pair[K, Tuple2[V, W]]{rec.Key, Tuple2[V, W]{rec.Value, w}})
+			}
+		}
+		out[i] = joined
+	})
+	res := fromParts(large.ctx, out, large.partDesc)
+	res.keyedHint = large.keyedHint
+	return res
+}
+
+// CoGroup groups both RDDs by key in one shuffle, like
+// PairRDDFunctions.cogroup: the result holds, per key, all left values
+// and all right values.
+func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[[]V, []W]]] {
+	n := len(a.parts)
+	if len(b.parts) > n {
+		n = len(b.parts)
+	}
+	p := NewHashPartitioner[K](n)
+	left := PartitionBy(a, p)
+	right := PartitionBy(b, p)
+	out := make([][]Pair[K, Tuple2[[]V, []W]], n)
+	a.ctx.runTasks(n, func(i int) {
+		lm := make(map[K][]V)
+		rm := make(map[K][]W)
+		order := make([]K, 0)
+		seen := make(map[K]bool)
+		for _, rec := range left.parts[i] {
+			if !seen[rec.Key] {
+				seen[rec.Key] = true
+				order = append(order, rec.Key)
+			}
+			lm[rec.Key] = append(lm[rec.Key], rec.Value)
+		}
+		for _, rec := range right.parts[i] {
+			if !seen[rec.Key] {
+				seen[rec.Key] = true
+				order = append(order, rec.Key)
+			}
+			rm[rec.Key] = append(rm[rec.Key], rec.Value)
+		}
+		part := make([]Pair[K, Tuple2[[]V, []W]], 0, len(order))
+		for _, k := range order {
+			part = append(part, Pair[K, Tuple2[[]V, []W]]{k, Tuple2[[]V, []W]{lm[k], rm[k]}})
+		}
+		out[i] = part
+	})
+	res := fromParts(a.ctx, out, "hash")
+	res.keyedHint = true
+	return res
+}
+
+// CountByKey returns a map from key to occurrence count, computed with a
+// reduceByKey (so it is metered like one).
+func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) map[K]int {
+	ones := MapValues(r, func(V) int { return 1 })
+	counts := ReduceByKey(ones, func(a, b int) int { return a + b })
+	out := make(map[K]int)
+	for _, p := range counts.Collect() {
+		out[p.Key] = p.Value
+	}
+	return out
+}
+
+// Tuple2 is a plain value pair with no comparability requirement; join
+// results carry their two sides in one.
+type Tuple2[A, B any] struct {
+	A A
+	B B
+}

@@ -1,0 +1,229 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RDD is an immutable, partitioned collection of records — the simulated
+// counterpart of org.apache.spark.rdd.RDD. Transformations return new
+// RDDs; the input is never mutated. Execution is eager but parallel: each
+// transformation runs one task per partition on the context's worker
+// pool, which keeps the simulation deterministic while still exercising
+// concurrent code paths.
+type RDD[T any] struct {
+	ctx       *Context
+	parts     [][]T
+	partDesc  string // how the data is partitioned, for reports
+	keyedHint bool   // true when a pair RDD is already key-partitioned
+}
+
+// Parallelize distributes data across the context's default parallelism,
+// like SparkContext.parallelize.
+func Parallelize[T any](ctx *Context, data []T) *RDD[T] {
+	return ParallelizeN(ctx, data, ctx.DefaultParallelism())
+}
+
+// ParallelizeN distributes data across n partitions using round-robin
+// chunking (contiguous ranges, like Spark's ParallelCollectionRDD).
+func ParallelizeN[T any](ctx *Context, data []T, n int) *RDD[T] {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]T, n)
+	if len(data) > 0 {
+		chunk := (len(data) + n - 1) / n
+		for i := 0; i < n; i++ {
+			lo := i * chunk
+			if lo >= len(data) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(data) {
+				hi = len(data)
+			}
+			parts[i] = append([]T(nil), data[lo:hi]...)
+		}
+	}
+	ctx.AddRead(len(data))
+	return &RDD[T]{ctx: ctx, parts: parts, partDesc: "roundrobin"}
+}
+
+// fromParts wraps already-partitioned data without copying.
+func fromParts[T any](ctx *Context, parts [][]T, desc string) *RDD[T] {
+	return &RDD[T]{ctx: ctx, parts: parts, partDesc: desc}
+}
+
+// Context returns the owning Context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return len(r.parts) }
+
+// PartitionDesc names the current partitioning strategy.
+func (r *RDD[T]) PartitionDesc() string { return r.partDesc }
+
+// Partition returns a read-only view of partition i.
+func (r *RDD[T]) Partition(i int) []T { return r.parts[i] }
+
+// Count returns the number of records.
+func (r *RDD[T]) Count() int {
+	total := 0
+	for _, p := range r.parts {
+		total += len(p)
+	}
+	return total
+}
+
+// Collect gathers all records to the driver in partition order.
+func (r *RDD[T]) Collect() []T {
+	out := make([]T, 0, r.Count())
+	for _, p := range r.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Take returns up to n records in partition order.
+func (r *RDD[T]) Take(n int) []T {
+	out := make([]T, 0, n)
+	for _, p := range r.parts {
+		for _, v := range p {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Filter keeps the records matching pred. Narrow transformation.
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	out := make([][]T, len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		var kept []T
+		for _, v := range r.parts[i] {
+			if pred(v) {
+				kept = append(kept, v)
+			}
+		}
+		out[i] = kept
+	})
+	nr := fromParts(r.ctx, out, r.partDesc)
+	nr.keyedHint = r.keyedHint
+	return nr
+}
+
+// Map applies f to every record. Narrow transformation. It is a free
+// function because Go methods cannot introduce new type parameters.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	out := make([][]U, len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		mapped := make([]U, len(r.parts[i]))
+		for j, v := range r.parts[i] {
+			mapped[j] = f(v)
+		}
+		out[i] = mapped
+	})
+	return fromParts(r.ctx, out, r.partDesc)
+}
+
+// FlatMap applies f and concatenates the results. Narrow transformation.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	out := make([][]U, len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		var exp []U
+		for _, v := range r.parts[i] {
+			exp = append(exp, f(v)...)
+		}
+		out[i] = exp
+	})
+	return fromParts(r.ctx, out, r.partDesc)
+}
+
+// MapPartitions transforms each partition wholesale, like
+// RDD.mapPartitions. Narrow transformation.
+func MapPartitions[T, U any](r *RDD[T], f func(part []T) []U) *RDD[U] {
+	out := make([][]U, len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		out[i] = f(r.parts[i])
+	})
+	return fromParts(r.ctx, out, r.partDesc)
+}
+
+// Union concatenates two RDDs partition-wise (no shuffle), like
+// RDD.union.
+func (r *RDD[T]) Union(other *RDD[T]) *RDD[T] {
+	parts := make([][]T, 0, len(r.parts)+len(other.parts))
+	parts = append(parts, r.parts...)
+	parts = append(parts, other.parts...)
+	return fromParts(r.ctx, parts, "union")
+}
+
+// Distinct removes duplicates via a shuffle on the record value, like
+// RDD.distinct. Wide transformation.
+func Distinct[T comparable](r *RDD[T]) *RDD[T] {
+	keyed := Map(r, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{v, struct{}{}} })
+	reduced := ReduceByKey(keyed, func(a, _ struct{}) struct{} { return a })
+	return Map(reduced, func(p Pair[T, struct{}]) T { return p.Key })
+}
+
+// SortBy globally sorts the records by the given key. Wide
+// transformation: all records cross one shuffle into a single sorted
+// partition per range (simplified to one range here, which preserves the
+// cost model: every record is shuffled once).
+func SortBy[T any, K Ordered](r *RDD[T], key func(T) K) *RDD[T] {
+	all := r.Collect()
+	r.ctx.addShuffle(int64(len(all)), estimateBytes(all))
+	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
+	return ParallelizeN(r.ctx, all, len(r.parts))
+}
+
+// Ordered is the constraint for sortable keys.
+type Ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64 | ~string
+}
+
+// Cartesian returns the cross product of two RDDs, like RDD.cartesian.
+// The right side is broadcast to every left partition, which is how the
+// survey's hybrid study models the (inefficient) Cartesian fallback.
+func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
+	right := b.Collect()
+	a.ctx.addBroadcast(len(right))
+	out := make([][]Tuple2[T, U], len(a.parts))
+	a.ctx.runTasks(len(a.parts), func(i int) {
+		var prod []Tuple2[T, U]
+		for _, x := range a.parts[i] {
+			for _, y := range right {
+				prod = append(prod, Tuple2[T, U]{x, y})
+			}
+		}
+		out[i] = prod
+	})
+	return fromParts(a.ctx, out, "cartesian")
+}
+
+// estimateBytes approximates the serialized size of a record batch by
+// sampling: Spark meters shuffle bytes, and the engines compare on that,
+// so a stable estimate is enough.
+func estimateBytes[T any](data []T) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	samples := 3
+	if len(data) < samples {
+		samples = len(data)
+	}
+	var per int64
+	for i := 0; i < samples; i++ {
+		per += int64(len(fmt.Sprint(data[i*len(data)/samples])))
+	}
+	per /= int64(samples)
+	if per == 0 {
+		per = 1
+	}
+	return per * int64(len(data))
+}

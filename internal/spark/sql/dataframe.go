@@ -1,0 +1,474 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/spark"
+)
+
+// DataFrame is an immutable, schema'd, partitioned table — the simulated
+// counterpart of org.apache.spark.sql.DataFrame. It wraps an RDD of rows
+// so all shuffle/broadcast accounting flows through the spark substrate.
+//
+// Per the survey (Sec. III), DataFrames differ from raw RDDs in two ways
+// that matter to the engines: the schema enables an optimizer, and the
+// columnar encoding is far more compact than Java serialization. The
+// compact encoding is modeled by CompressionFactor, which scales the
+// byte cost the SQL layer reports for DataFrame shuffles.
+type DataFrame struct {
+	ctx    *spark.Context
+	schema Schema
+	rdd    *spark.RDD[Row]
+}
+
+// CompressionFactor models the columnar in-memory compression of
+// DataFrames relative to RDD rows ("up to 10 times larger data sets than
+// RDD can be managed", survey Sec. IV.A.3).
+const CompressionFactor = 10
+
+// NewDataFrame builds a DataFrame from rows. Rows shorter than the
+// schema are padded with nils; longer rows are an error.
+func NewDataFrame(ctx *spark.Context, schema Schema, rows []Row) (*DataFrame, error) {
+	fixed := make([]Row, len(rows))
+	for i, r := range rows {
+		if len(r) > len(schema) {
+			return nil, fmt.Errorf("sql: row %d has %d values for %d columns", i, len(r), len(schema))
+		}
+		row := make(Row, len(schema))
+		copy(row, r)
+		fixed[i] = row
+	}
+	return &DataFrame{ctx: ctx, schema: schema.Clone(), rdd: spark.Parallelize(ctx, fixed)}, nil
+}
+
+func fromRDD(ctx *spark.Context, schema Schema, rdd *spark.RDD[Row]) *DataFrame {
+	return &DataFrame{ctx: ctx, schema: schema, rdd: rdd}
+}
+
+// Context returns the owning spark context.
+func (d *DataFrame) Context() *spark.Context { return d.ctx }
+
+// Schema returns the column names.
+func (d *DataFrame) Schema() Schema { return d.schema.Clone() }
+
+// RDD exposes the underlying row RDD (read-only by convention).
+func (d *DataFrame) RDD() *spark.RDD[Row] { return d.rdd }
+
+// Count returns the number of rows.
+func (d *DataFrame) Count() int { return d.rdd.Count() }
+
+// Collect gathers all rows to the driver.
+func (d *DataFrame) Collect() []Row { return d.rdd.Collect() }
+
+// Filter keeps rows where pred evaluates to true.
+func (d *DataFrame) Filter(pred Expr) (*DataFrame, error) {
+	for _, c := range pred.Columns() {
+		if !d.schema.Has(c) {
+			return nil, errColumn(c, d.schema)
+		}
+	}
+	schema := d.schema
+	out := d.rdd.Filter(func(r Row) bool {
+		v, err := pred.Eval(r, schema)
+		if err != nil {
+			return false
+		}
+		b, _ := v.(bool)
+		return b
+	})
+	return fromRDD(d.ctx, schema, out), nil
+}
+
+// Select projects (and optionally renames) columns. Each selection is
+// "col" or "col AS alias".
+func (d *DataFrame) Select(cols ...string) (*DataFrame, error) {
+	idx := make([]int, len(cols))
+	names := make(Schema, len(cols))
+	for i, c := range cols {
+		name, alias := splitAlias(c)
+		j := d.schema.Index(name)
+		if j < 0 {
+			return nil, errColumn(name, d.schema)
+		}
+		idx[i] = j
+		if alias != "" {
+			names[i] = alias
+		} else {
+			names[i] = name
+		}
+	}
+	out := spark.Map(d.rdd, func(r Row) Row {
+		row := make(Row, len(idx))
+		for i, j := range idx {
+			row[i] = r[j]
+		}
+		return row
+	})
+	return fromRDD(d.ctx, names, out), nil
+}
+
+func splitAlias(c string) (name, alias string) {
+	parts := strings.Fields(c)
+	if len(parts) == 3 && strings.EqualFold(parts[1], "AS") {
+		return parts[0], parts[2]
+	}
+	return strings.TrimSpace(c), ""
+}
+
+// WithColumnRenamed renames one column.
+func (d *DataFrame) WithColumnRenamed(from, to string) (*DataFrame, error) {
+	i := d.schema.Index(from)
+	if i < 0 {
+		return nil, errColumn(from, d.schema)
+	}
+	schema := d.schema.Clone()
+	schema[i] = to
+	return fromRDD(d.ctx, schema, d.rdd), nil
+}
+
+// Distinct removes duplicate rows (whole-row comparison) via a shuffle.
+func (d *DataFrame) Distinct() *DataFrame {
+	keyed := spark.KeyBy(d.rdd, rowKeyAll)
+	reduced := spark.ReduceByKey(keyed, func(a, _ Row) Row { return a })
+	out := spark.Values(reduced)
+	return fromRDD(d.ctx, d.schema, out)
+}
+
+func rowKeyAll(r Row) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		fmt.Fprint(&b, v)
+	}
+	return b.String()
+}
+
+func rowKeyCols(r Row, idx []int) string {
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		fmt.Fprint(&b, r[j])
+	}
+	return b.String()
+}
+
+// Union appends another DataFrame with an identical schema.
+func (d *DataFrame) Union(other *DataFrame) (*DataFrame, error) {
+	if len(d.schema) != len(other.schema) {
+		return nil, fmt.Errorf("sql: union schema mismatch: %v vs %v", d.schema, other.schema)
+	}
+	return fromRDD(d.ctx, d.schema, d.rdd.Union(other.rdd)), nil
+}
+
+// OrderBy sorts rows by column; asc selects the direction. The sort key
+// uses Compare semantics (numeric when possible, else lexical).
+func (d *DataFrame) OrderBy(col string, asc bool) (*DataFrame, error) {
+	i := d.schema.Index(col)
+	if i < 0 {
+		return nil, errColumn(col, d.schema)
+	}
+	all := d.rdd.Collect()
+	d.ctx.AddRead(0) // sort is a wide op; meter the shuffle explicitly below
+	sorted := spark.SortBy(spark.ParallelizeN(d.ctx, all, d.rdd.NumPartitions()), func(r Row) string {
+		return sortKey(r[i])
+	})
+	rows := sorted.Collect()
+	if !asc {
+		for l, r := 0, len(rows)-1; l < r; l, r = l+1, r-1 {
+			rows[l], rows[r] = rows[r], rows[l]
+		}
+	}
+	return fromRDD(d.ctx, d.schema, spark.ParallelizeN(d.ctx, rows, d.rdd.NumPartitions())), nil
+}
+
+// sortKey renders a value so lexical order matches Compare order within
+// a column of homogeneous type: numbers are zero-padded.
+func sortKey(v any) string {
+	if f, ok := toFloat(v); ok {
+		return fmt.Sprintf("%032.6f", f+1e15)
+	}
+	return fmt.Sprint(v)
+}
+
+// Limit returns the first n rows (with optional offset applied first).
+func (d *DataFrame) Limit(n int) *DataFrame {
+	rows := d.rdd.Take(n)
+	return fromRDD(d.ctx, d.schema, spark.ParallelizeN(d.ctx, rows, 1))
+}
+
+// Offset skips the first n rows.
+func (d *DataFrame) Offset(n int) *DataFrame {
+	rows := d.rdd.Collect()
+	if n > len(rows) {
+		n = len(rows)
+	}
+	return fromRDD(d.ctx, d.schema, spark.ParallelizeN(d.ctx, rows[n:], d.rdd.NumPartitions()))
+}
+
+// JoinStrategy selects the physical join implementation.
+type JoinStrategy int
+
+const (
+	// JoinAuto picks broadcast when one side is under the context's
+	// BroadcastThreshold, else a partitioned shuffle join — Catalyst's
+	// size-based policy.
+	JoinAuto JoinStrategy = iota
+	// JoinPartitioned forces the shuffle hash join.
+	JoinPartitioned
+	// JoinBroadcast forces broadcasting the smaller side.
+	JoinBroadcast
+)
+
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinPartitioned:
+		return "partitioned"
+	case JoinBroadcast:
+		return "broadcast"
+	default:
+		return "auto"
+	}
+}
+
+// Join computes the natural inner join on the given shared columns using
+// the chosen strategy. The result schema is the left schema followed by
+// the right schema minus the join columns.
+func (d *DataFrame) Join(other *DataFrame, on []string, strategy JoinStrategy) (*DataFrame, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("sql: join requires at least one column (use CrossJoin for products)")
+	}
+	li := make([]int, len(on))
+	ri := make([]int, len(on))
+	for i, c := range on {
+		li[i] = d.schema.Index(c)
+		ri[i] = other.schema.Index(c)
+		if li[i] < 0 {
+			return nil, errColumn(c, d.schema)
+		}
+		if ri[i] < 0 {
+			return nil, errColumn(c, other.schema)
+		}
+	}
+	// Result schema and right-side kept columns.
+	schema := d.schema.Clone()
+	var keep []int
+	for j, c := range other.schema {
+		if !contains(on, c) {
+			schema = append(schema, c)
+			keep = append(keep, j)
+		}
+	}
+
+	leftKeyed := spark.KeyBy(d.rdd, func(r Row) string { return rowKeyCols(r, li) })
+	rightKeyed := spark.KeyBy(other.rdd, func(r Row) string { return rowKeyCols(r, ri) })
+
+	useBroadcast := strategy == JoinBroadcast
+	if strategy == JoinAuto {
+		threshold := d.ctx.Conf().BroadcastThreshold
+		useBroadcast = other.Count() < threshold || d.Count() < threshold
+	}
+
+	var joined *spark.RDD[spark.Pair[string, spark.Tuple2[Row, Row]]]
+	if useBroadcast {
+		if other.Count() <= d.Count() {
+			joined = spark.BroadcastJoin(leftKeyed, rightKeyed)
+		} else {
+			swapped := spark.BroadcastJoin(rightKeyed, leftKeyed)
+			joined = spark.MapValues(swapped, func(t spark.Tuple2[Row, Row]) spark.Tuple2[Row, Row] {
+				return spark.Tuple2[Row, Row]{A: t.B, B: t.A}
+			})
+		}
+	} else {
+		joined = spark.Join(leftKeyed, rightKeyed)
+	}
+
+	out := spark.Map(joined, func(p spark.Pair[string, spark.Tuple2[Row, Row]]) Row {
+		row := make(Row, 0, len(schema))
+		row = append(row, p.Value.A...)
+		for _, j := range keep {
+			row = append(row, p.Value.B[j])
+		}
+		return row
+	})
+	return fromRDD(d.ctx, schema, out), nil
+}
+
+// LeftOuterJoin keeps all left rows; right columns are nil when
+// unmatched. Used by the SPARQL OPTIONAL translation.
+func (d *DataFrame) LeftOuterJoin(other *DataFrame, on []string) (*DataFrame, error) {
+	li := make([]int, len(on))
+	ri := make([]int, len(on))
+	for i, c := range on {
+		li[i] = d.schema.Index(c)
+		ri[i] = other.schema.Index(c)
+		if li[i] < 0 {
+			return nil, errColumn(c, d.schema)
+		}
+		if ri[i] < 0 {
+			return nil, errColumn(c, other.schema)
+		}
+	}
+	schema := d.schema.Clone()
+	var keep []int
+	for j, c := range other.schema {
+		if !contains(on, c) {
+			schema = append(schema, c)
+			keep = append(keep, j)
+		}
+	}
+	leftKeyed := spark.KeyBy(d.rdd, func(r Row) string { return rowKeyCols(r, li) })
+	rightKeyed := spark.KeyBy(other.rdd, func(r Row) string { return rowKeyCols(r, ri) })
+	joined := spark.LeftOuterJoin(leftKeyed, rightKeyed)
+	out := spark.Map(joined, func(p spark.Pair[string, spark.Tuple2[Row, spark.Opt[Row]]]) Row {
+		row := make(Row, 0, len(schema))
+		row = append(row, p.Value.A...)
+		for _, j := range keep {
+			if p.Value.B.OK {
+				row = append(row, p.Value.B.Val[j])
+			} else {
+				row = append(row, nil)
+			}
+		}
+		return row
+	})
+	return fromRDD(d.ctx, schema, out), nil
+}
+
+// CrossJoin computes the Cartesian product — the fallback Spark SQL used
+// for multi-pattern queries in the hybrid study [21], flagged there as a
+// significant drawback.
+func (d *DataFrame) CrossJoin(other *DataFrame) *DataFrame {
+	schema := append(d.schema.Clone(), other.schema...)
+	prod := spark.Cartesian(d.rdd, other.rdd)
+	out := spark.Map(prod, func(t spark.Tuple2[Row, Row]) Row {
+		row := make(Row, 0, len(schema))
+		row = append(row, t.A...)
+		row = append(row, t.B...)
+		return row
+	})
+	return fromRDD(d.ctx, schema, out)
+}
+
+// AggFunc names an aggregate.
+type AggFunc string
+
+// Supported aggregates (the survey's BGP+ includes AVG and COUNT).
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// Aggregate groups by the given columns (possibly none, for a global
+// aggregate) and computes fn over column col ("*" with COUNT counts
+// rows). The result schema is groupCols + one column named e.g.
+// "COUNT(x)".
+func (d *DataFrame) Aggregate(groupCols []string, fn AggFunc, col string) (*DataFrame, error) {
+	gi := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		gi[i] = d.schema.Index(c)
+		if gi[i] < 0 {
+			return nil, errColumn(c, d.schema)
+		}
+	}
+	vi := -1
+	if col != "*" {
+		vi = d.schema.Index(col)
+		if vi < 0 {
+			return nil, errColumn(col, d.schema)
+		}
+	} else if fn != AggCount {
+		return nil, fmt.Errorf("sql: %s(*) is not defined", fn)
+	}
+
+	type acc struct {
+		group      Row
+		count      int
+		sum        float64
+		numeric    bool
+		minV, maxV any
+	}
+	keyed := spark.KeyBy(d.rdd, func(r Row) string { return rowKeyCols(r, gi) })
+	grouped := spark.GroupByKey(keyed)
+	schema := append(Schema{}, groupCols...)
+	schema = append(schema, fmt.Sprintf("%s(%s)", fn, col))
+	out := spark.Map(grouped, func(p spark.Pair[string, []Row]) Row {
+		a := acc{numeric: true}
+		for _, r := range p.Value {
+			if a.group == nil {
+				a.group = make(Row, len(gi))
+				for i, j := range gi {
+					a.group[i] = r[j]
+				}
+			}
+			if vi < 0 {
+				a.count++
+				continue
+			}
+			v := r[vi]
+			if v == nil {
+				continue
+			}
+			a.count++
+			if f, ok := toFloat(v); ok {
+				a.sum += f
+			} else {
+				a.numeric = false
+			}
+			if a.minV == nil {
+				a.minV, a.maxV = v, v
+			} else {
+				if c, ok := Compare(v, a.minV); ok && c < 0 {
+					a.minV = v
+				}
+				if c, ok := Compare(v, a.maxV); ok && c > 0 {
+					a.maxV = v
+				}
+			}
+		}
+		row := append(Row{}, a.group...)
+		switch fn {
+		case AggCount:
+			row = append(row, int64(a.count))
+		case AggSum:
+			row = append(row, a.sum)
+		case AggAvg:
+			if a.count == 0 {
+				row = append(row, nil)
+			} else {
+				row = append(row, a.sum/float64(a.count))
+			}
+		case AggMin:
+			row = append(row, a.minV)
+		case AggMax:
+			row = append(row, a.maxV)
+		}
+		return row
+	})
+	return fromRDD(d.ctx, schema, out), nil
+}
+
+// Rows returns the rows sorted canonically — handy for tests that
+// compare result sets.
+func (d *DataFrame) Rows() []Row {
+	rows := d.Collect()
+	sort.Slice(rows, func(i, j int) bool { return rowKeyAll(rows[i]) < rowKeyAll(rows[j]) })
+	return rows
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,256 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spark"
+)
+
+func TestOrderByNegativeNumbers(t *testing.T) {
+	ctx, _ := testSession(t)
+	df := mustDF(t, ctx, Schema{"v"}, []Row{
+		{int64(-5)}, {int64(3)}, {int64(-40)}, {int64(0)},
+	})
+	o, err := df.OrderBy("v", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := o.Collect()
+	want := []int64{-40, -5, 0, 3}
+	for i, r := range rows {
+		if r[0] != want[i] {
+			t.Fatalf("order = %v", rows)
+		}
+	}
+}
+
+func TestOrderByStringsVsNumbersMixedColumn(t *testing.T) {
+	ctx, _ := testSession(t)
+	df := mustDF(t, ctx, Schema{"v"}, []Row{{"b"}, {"a"}, {"c"}})
+	o, err := df.OrderBy("v", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Collect()[0][0] != "a" {
+		t.Fatalf("order = %v", o.Collect())
+	}
+	if _, err := df.OrderBy("missing", true); err == nil {
+		t.Fatal("expected unknown-column error")
+	}
+}
+
+func TestOffsetBeyondEnd(t *testing.T) {
+	ctx, _ := testSession(t)
+	df := mustDF(t, ctx, Schema{"v"}, []Row{{1}, {2}})
+	if got := df.Offset(10).Count(); got != 0 {
+		t.Fatalf("offset beyond end = %d rows", got)
+	}
+	if got := df.Limit(0).Count(); got != 0 {
+		t.Fatalf("limit 0 = %d rows", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	ctx, _ := testSession(t)
+	df := peopleDF(t, ctx)
+	if _, err := df.Aggregate([]string{"nope"}, AggCount, "*"); err == nil {
+		t.Fatal("unknown group column accepted")
+	}
+	if _, err := df.Aggregate(nil, AggSum, "nope"); err == nil {
+		t.Fatal("unknown agg column accepted")
+	}
+	if _, err := df.Aggregate(nil, AggSum, "*"); err == nil {
+		t.Fatal("SUM(*) accepted")
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	ctx, _ := testSession(t)
+	df := mustDF(t, ctx, Schema{"g", "v"}, []Row{
+		{"a", int64(10)},
+		{"a", nil},
+		{"b", nil},
+	})
+	avg, err := df.Aggregate([]string{"g"}, AggAvg, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[string]any{}
+	for _, r := range avg.Collect() {
+		byG[r[0].(string)] = r[1]
+	}
+	if byG["a"] != 10.0 {
+		t.Fatalf("avg a = %v", byG["a"])
+	}
+	if byG["b"] != nil {
+		t.Fatalf("avg of all-null group = %v", byG["b"])
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	ctx, _ := testSession(t)
+	a := mustDF(t, ctx, Schema{"x"}, []Row{{1}})
+	b := mustDF(t, ctx, Schema{"y"}, []Row{{1}})
+	if _, err := a.Join(b, nil, JoinAuto); err == nil {
+		t.Fatal("empty join columns accepted")
+	}
+	if _, err := a.Join(b, []string{"x"}, JoinAuto); err == nil {
+		t.Fatal("join column missing on right accepted")
+	}
+	if _, err := a.Join(b, []string{"y"}, JoinAuto); err == nil {
+		t.Fatal("join column missing on left accepted")
+	}
+	if _, err := a.LeftOuterJoin(b, []string{"x"}); err == nil {
+		t.Fatal("left outer join with bad column accepted")
+	}
+	if _, err := a.Union(mustDF(t, ctx, Schema{"p", "q"}, nil)); err == nil {
+		t.Fatal("union with mismatched schema accepted")
+	}
+}
+
+func TestJoinStrategyString(t *testing.T) {
+	if JoinAuto.String() != "auto" || JoinPartitioned.String() != "partitioned" || JoinBroadcast.String() != "broadcast" {
+		t.Fatal("strategy names changed")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{"a", "b", "c"}
+	if !s.Has("b") || s.Has("z") {
+		t.Fatal("Has wrong")
+	}
+	shared := s.Shared(Schema{"c", "a"})
+	if len(shared) != 2 || shared[0] != "a" {
+		t.Fatalf("Shared = %v", shared)
+	}
+	if s.String() != "a, b, c" {
+		t.Fatalf("String = %q", s.String())
+	}
+	r := Row{1, "x"}
+	c := r.Clone()
+	c[0] = 99
+	if r[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestPlanExplains(t *testing.T) {
+	nodes := []Plan{
+		&Scan{Table: "t"},
+		&Project{Input: &Scan{Table: "t"}, Cols: []string{"a"}},
+		&FilterNode{Input: &Scan{Table: "t"}, Pred: Eq("a", 1)},
+		&JoinNode{Left: &Scan{Table: "t"}, Right: &Scan{Table: "u"}, On: []string{"a"}},
+		&UnionNode{Left: &Scan{Table: "t"}, Right: &Scan{Table: "u"}},
+		&DistinctNode{Input: &Scan{Table: "t"}},
+		&SortNode{Input: &Scan{Table: "t"}, Col: "a", Asc: false},
+		&LimitNode{Input: &Scan{Table: "t"}, N: 3, Offset: 1},
+		&AggNode{Input: &Scan{Table: "t"}, GroupCols: []string{"g"}, Fn: AggAvg, Col: "v"},
+	}
+	for _, n := range nodes {
+		if n.Explain() == "" {
+			t.Fatalf("%T: empty explain", n)
+		}
+	}
+	text := ExplainPlan(nodes[3])
+	if !strings.Contains(text, "Join") || !strings.Contains(text, "Scan u") {
+		t.Fatalf("tree = %s", text)
+	}
+}
+
+func TestInlineDataPlanNode(t *testing.T) {
+	ctx, sess := testSession(t)
+	df := mustDF(t, ctx, Schema{"x"}, []Row{{int64(1)}, {int64(2)}})
+	plan := &FilterNode{Input: &InlineData{DF: df}, Pred: BinOp{Op: ">", L: Col{"x"}, R: Lit{int64(1)}}}
+	out, err := sess.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 1 {
+		t.Fatalf("rows = %d", out.Count())
+	}
+	if (&InlineData{DF: df}).Explain() == "" {
+		t.Fatal("empty explain")
+	}
+}
+
+func TestSessionTableManagement(t *testing.T) {
+	ctx, sess := testSession(t)
+	df := peopleDF(t, ctx)
+	sess.RegisterTable("p", df)
+	if _, ok := sess.Table("p"); !ok {
+		t.Fatal("table lost")
+	}
+	if names := sess.TableNames(); len(names) != 1 || names[0] != "p" {
+		t.Fatalf("names = %v", names)
+	}
+	sess.DropTable("p")
+	if _, ok := sess.Table("p"); ok {
+		t.Fatal("drop failed")
+	}
+	if sess.Context() != ctx {
+		t.Fatal("wrong context")
+	}
+}
+
+func TestCompressionFactorDocumented(t *testing.T) {
+	// The survey's "up to 10 times larger data sets than RDD" claim is
+	// modeled by this constant; pin it so the docs stay honest.
+	if CompressionFactor != 10 {
+		t.Fatalf("CompressionFactor = %d", CompressionFactor)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT x FROM t WHERE a = 'unterminated",
+		"SELECT x FROM t WHERE a ~ b",
+	} {
+		if _, err := ParseSQL(bad); err == nil {
+			t.Errorf("ParseSQL(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSQLMinMaxAggregates(t *testing.T) {
+	ctx, sess := testSession(t)
+	sess.RegisterTable("people", peopleDF(t, ctx))
+	for _, c := range []struct {
+		fn   string
+		want int64
+	}{{"MIN", 25}, {"MAX", 44}} {
+		df, err := sess.Query("SELECT " + c.fn + "(age) FROM people")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := df.Collect()[0][0]; got != c.want {
+			t.Fatalf("%s = %v", c.fn, got)
+		}
+	}
+}
+
+func TestBroadcastThresholdDrivesAutoJoin(t *testing.T) {
+	// With a tiny threshold, JoinAuto must fall back to the partitioned
+	// join (both sides too big to broadcast).
+	ctx := spark.NewContext(spark.Config{Parallelism: 2, Executors: 2, BroadcastThreshold: 1, MaxConcurrency: 2})
+	mk := func(n int) *DataFrame {
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{"k" + string(rune('0'+i%3)), int64(i)}
+		}
+		df, err := NewDataFrame(ctx, Schema{"k", "v"}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return df
+	}
+	a, b := mk(50), mk(40)
+	before := ctx.Snapshot()
+	if _, err := a.Join(b, []string{"k"}, JoinAuto); err != nil {
+		t.Fatal(err)
+	}
+	d := ctx.Snapshot().Diff(before)
+	if d.ShuffleRecords == 0 {
+		t.Fatal("auto join below threshold should have shuffled")
+	}
+}

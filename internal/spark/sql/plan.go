@@ -1,0 +1,488 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a node of the logical query plan, the representation the
+// Catalyst-style optimizer rewrites before execution.
+type Plan interface {
+	// Children returns the input plans.
+	Children() []Plan
+	// Explain renders the node (without children) for EXPLAIN output.
+	Explain() string
+}
+
+// Scan reads a registered table.
+type Scan struct{ Table string }
+
+// Children implements Plan.
+func (s *Scan) Children() []Plan { return nil }
+
+// Explain implements Plan.
+func (s *Scan) Explain() string { return "Scan " + s.Table }
+
+// Project selects/renames columns; each entry is "col" or "col AS alias".
+type Project struct {
+	Input Plan
+	Cols  []string
+}
+
+// Children implements Plan.
+func (p *Project) Children() []Plan { return []Plan{p.Input} }
+
+// Explain implements Plan.
+func (p *Project) Explain() string { return "Project " + strings.Join(p.Cols, ", ") }
+
+// FilterNode keeps rows matching Pred.
+type FilterNode struct {
+	Input Plan
+	Pred  Expr
+}
+
+// Children implements Plan.
+func (f *FilterNode) Children() []Plan { return []Plan{f.Input} }
+
+// Explain implements Plan.
+func (f *FilterNode) Explain() string { return "Filter " + f.Pred.String() }
+
+// JoinNode joins two plans on the named shared columns (natural join on
+// all shared columns when On is empty).
+type JoinNode struct {
+	Left, Right Plan
+	On          []string
+	Strategy    JoinStrategy
+}
+
+// Children implements Plan.
+func (j *JoinNode) Children() []Plan { return []Plan{j.Left, j.Right} }
+
+// Explain implements Plan.
+func (j *JoinNode) Explain() string {
+	on := "natural"
+	if len(j.On) > 0 {
+		on = strings.Join(j.On, ", ")
+	}
+	return fmt.Sprintf("Join[%s] on %s", j.Strategy, on)
+}
+
+// UnionNode appends Right below Left.
+type UnionNode struct{ Left, Right Plan }
+
+// Children implements Plan.
+func (u *UnionNode) Children() []Plan { return []Plan{u.Left, u.Right} }
+
+// Explain implements Plan.
+func (u *UnionNode) Explain() string { return "Union" }
+
+// DistinctNode removes duplicate rows.
+type DistinctNode struct{ Input Plan }
+
+// Children implements Plan.
+func (d *DistinctNode) Children() []Plan { return []Plan{d.Input} }
+
+// Explain implements Plan.
+func (d *DistinctNode) Explain() string { return "Distinct" }
+
+// SortNode orders rows by one column.
+type SortNode struct {
+	Input Plan
+	Col   string
+	Asc   bool
+}
+
+// Children implements Plan.
+func (s *SortNode) Children() []Plan { return []Plan{s.Input} }
+
+// Explain implements Plan.
+func (s *SortNode) Explain() string {
+	dir := "ASC"
+	if !s.Asc {
+		dir = "DESC"
+	}
+	return "Sort " + s.Col + " " + dir
+}
+
+// LimitNode truncates to N rows after skipping Offset rows.
+type LimitNode struct {
+	Input  Plan
+	N      int
+	Offset int
+}
+
+// Children implements Plan.
+func (l *LimitNode) Children() []Plan { return []Plan{l.Input} }
+
+// Explain implements Plan.
+func (l *LimitNode) Explain() string { return fmt.Sprintf("Limit %d offset %d", l.N, l.Offset) }
+
+// AggNode groups by GroupCols and computes Fn(Col).
+type AggNode struct {
+	Input     Plan
+	GroupCols []string
+	Fn        AggFunc
+	Col       string
+}
+
+// Children implements Plan.
+func (a *AggNode) Children() []Plan { return []Plan{a.Input} }
+
+// Explain implements Plan.
+func (a *AggNode) Explain() string {
+	return fmt.Sprintf("Aggregate [%s] %s(%s)", strings.Join(a.GroupCols, ","), a.Fn, a.Col)
+}
+
+// InlineData embeds a pre-built DataFrame in the plan (used when engines
+// compose plans programmatically).
+type InlineData struct{ DF *DataFrame }
+
+// Children implements Plan.
+func (i *InlineData) Children() []Plan { return nil }
+
+// Explain implements Plan.
+func (i *InlineData) Explain() string { return fmt.Sprintf("InlineData %d rows", i.DF.Count()) }
+
+// ExplainPlan renders the whole plan tree, one node per line.
+func ExplainPlan(p Plan) string {
+	var b strings.Builder
+	var walk func(Plan, int)
+	walk = func(n Plan, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Explain())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}
+
+// --- Optimizer (Catalyst-style rule passes) ---
+
+// Optimize applies the rule passes in order: predicate pushdown, join
+// reordering by estimated cardinality, then physical join-strategy
+// selection against the broadcast threshold.
+func (s *Session) Optimize(p Plan) Plan {
+	p = pushDownFilters(p, s)
+	p = reorderJoins(p, s)
+	p = chooseJoinStrategies(p, s)
+	return p
+}
+
+// planSchema computes the output schema of a plan without executing it.
+func (s *Session) planSchema(p Plan) (Schema, error) {
+	switch n := p.(type) {
+	case *Scan:
+		df, ok := s.tables[n.Table]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", n.Table)
+		}
+		return df.Schema(), nil
+	case *InlineData:
+		return n.DF.Schema(), nil
+	case *Project:
+		out := make(Schema, len(n.Cols))
+		for i, c := range n.Cols {
+			name, alias := splitAlias(c)
+			if alias != "" {
+				out[i] = alias
+			} else {
+				out[i] = name
+			}
+		}
+		return out, nil
+	case *FilterNode:
+		return s.planSchema(n.Input)
+	case *JoinNode:
+		ls, err := s.planSchema(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := s.planSchema(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		on := n.On
+		if len(on) == 0 {
+			on = ls.Shared(rs)
+		}
+		out := ls.Clone()
+		for _, c := range rs {
+			if !contains(on, c) {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	case *UnionNode:
+		return s.planSchema(n.Left)
+	case *DistinctNode:
+		return s.planSchema(n.Input)
+	case *SortNode:
+		return s.planSchema(n.Input)
+	case *LimitNode:
+		return s.planSchema(n.Input)
+	case *AggNode:
+		out := append(Schema{}, n.GroupCols...)
+		return append(out, fmt.Sprintf("%s(%s)", n.Fn, n.Col)), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown plan node %T", p)
+	}
+}
+
+// estimateRows approximates the output cardinality of a plan. Scans are
+// exact (the catalog knows table sizes); filters apply a fixed
+// selectivity; joins multiply by a containment factor. The estimates
+// drive join ordering and broadcast selection exactly as Catalyst's
+// statistics do.
+func (s *Session) estimateRows(p Plan) int {
+	const filterSelectivity = 4 // keep 1/4
+	switch n := p.(type) {
+	case *Scan:
+		if df, ok := s.tables[n.Table]; ok {
+			return df.Count()
+		}
+		return 0
+	case *InlineData:
+		return n.DF.Count()
+	case *Project:
+		return s.estimateRows(n.Input)
+	case *FilterNode:
+		e := s.estimateRows(n.Input) / filterSelectivity
+		if e < 1 {
+			e = 1
+		}
+		return e
+	case *JoinNode:
+		l := s.estimateRows(n.Left)
+		r := s.estimateRows(n.Right)
+		if l > r {
+			return l
+		}
+		return r
+	case *UnionNode:
+		return s.estimateRows(n.Left) + s.estimateRows(n.Right)
+	case *DistinctNode:
+		return s.estimateRows(n.Input)
+	case *SortNode:
+		return s.estimateRows(n.Input)
+	case *LimitNode:
+		e := s.estimateRows(n.Input)
+		if n.N < e {
+			return n.N
+		}
+		return e
+	case *AggNode:
+		if len(n.GroupCols) == 0 {
+			return 1
+		}
+		return s.estimateRows(n.Input)
+	default:
+		return 0
+	}
+}
+
+// pushDownFilters moves filter predicates below joins when every column
+// the predicate references comes from one side.
+func pushDownFilters(p Plan, s *Session) Plan {
+	switch n := p.(type) {
+	case *FilterNode:
+		n.Input = pushDownFilters(n.Input, s)
+		if j, ok := n.Input.(*JoinNode); ok {
+			ls, lerr := s.planSchema(j.Left)
+			rs, rerr := s.planSchema(j.Right)
+			if lerr == nil && rerr == nil {
+				cols := n.Pred.Columns()
+				if allIn(cols, ls) {
+					j.Left = &FilterNode{Input: j.Left, Pred: n.Pred}
+					return j
+				}
+				if allIn(cols, rs) {
+					j.Right = &FilterNode{Input: j.Right, Pred: n.Pred}
+					return j
+				}
+			}
+		}
+		return n
+	case *JoinNode:
+		n.Left = pushDownFilters(n.Left, s)
+		n.Right = pushDownFilters(n.Right, s)
+		return n
+	case *Project:
+		n.Input = pushDownFilters(n.Input, s)
+		return n
+	case *UnionNode:
+		n.Left = pushDownFilters(n.Left, s)
+		n.Right = pushDownFilters(n.Right, s)
+		return n
+	case *DistinctNode:
+		n.Input = pushDownFilters(n.Input, s)
+		return n
+	case *SortNode:
+		n.Input = pushDownFilters(n.Input, s)
+		return n
+	case *LimitNode:
+		n.Input = pushDownFilters(n.Input, s)
+		return n
+	case *AggNode:
+		n.Input = pushDownFilters(n.Input, s)
+		return n
+	default:
+		return p
+	}
+}
+
+func allIn(cols []string, schema Schema) bool {
+	for _, c := range cols {
+		if !schema.Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// reorderJoins flattens chains of natural inner joins and greedily
+// re-links them smallest-first, keeping each step connected (sharing at
+// least one column with the accumulated left side) to avoid accidental
+// cross products — the optimization SPARQLGX and S2RDF both apply.
+func reorderJoins(p Plan, s *Session) Plan {
+	switch n := p.(type) {
+	case *JoinNode:
+		if len(n.On) > 0 {
+			n.Left = reorderJoins(n.Left, s)
+			n.Right = reorderJoins(n.Right, s)
+			return n
+		}
+		leaves := flattenJoins(n)
+		if len(leaves) <= 2 {
+			n.Left = reorderJoins(n.Left, s)
+			n.Right = reorderJoins(n.Right, s)
+			return n
+		}
+		for i := range leaves {
+			leaves[i] = reorderJoins(leaves[i], s)
+		}
+		return s.linkJoins(leaves)
+	case *FilterNode:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	case *Project:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	case *UnionNode:
+		n.Left = reorderJoins(n.Left, s)
+		n.Right = reorderJoins(n.Right, s)
+		return n
+	case *DistinctNode:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	case *SortNode:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	case *LimitNode:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	case *AggNode:
+		n.Input = reorderJoins(n.Input, s)
+		return n
+	default:
+		return p
+	}
+}
+
+// flattenJoins collects the leaves of a tree of natural inner joins.
+func flattenJoins(p Plan) []Plan {
+	if j, ok := p.(*JoinNode); ok && len(j.On) == 0 {
+		return append(flattenJoins(j.Left), flattenJoins(j.Right)...)
+	}
+	return []Plan{p}
+}
+
+// linkJoins greedily builds a left-deep join tree: start from the
+// smallest leaf, repeatedly attach the smallest connected leaf.
+func (s *Session) linkJoins(leaves []Plan) Plan {
+	remaining := append([]Plan{}, leaves...)
+	best := 0
+	for i := 1; i < len(remaining); i++ {
+		if s.estimateRows(remaining[i]) < s.estimateRows(remaining[best]) {
+			best = i
+		}
+	}
+	current := remaining[best]
+	remaining = append(remaining[:best], remaining[best+1:]...)
+	curSchema, _ := s.planSchema(current)
+
+	for len(remaining) > 0 {
+		pick := -1
+		for i, cand := range remaining {
+			cs, err := s.planSchema(cand)
+			if err != nil {
+				continue
+			}
+			if len(curSchema.Shared(cs)) == 0 {
+				continue
+			}
+			if pick < 0 || s.estimateRows(cand) < s.estimateRows(remaining[pick]) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			// No connected leaf: fall back to the smallest (cross product).
+			pick = 0
+			for i := 1; i < len(remaining); i++ {
+				if s.estimateRows(remaining[i]) < s.estimateRows(remaining[pick]) {
+					pick = i
+				}
+			}
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		current = &JoinNode{Left: current, Right: next}
+		curSchema, _ = s.planSchema(current)
+	}
+	return current
+}
+
+// chooseJoinStrategies resolves JoinAuto into broadcast or partitioned
+// using estimated cardinalities against the broadcast threshold.
+func chooseJoinStrategies(p Plan, s *Session) Plan {
+	switch n := p.(type) {
+	case *JoinNode:
+		n.Left = chooseJoinStrategies(n.Left, s)
+		n.Right = chooseJoinStrategies(n.Right, s)
+		if n.Strategy == JoinAuto {
+			threshold := s.ctx.Conf().BroadcastThreshold
+			if s.estimateRows(n.Left) < threshold || s.estimateRows(n.Right) < threshold {
+				n.Strategy = JoinBroadcast
+			} else {
+				n.Strategy = JoinPartitioned
+			}
+		}
+		return n
+	case *FilterNode:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	case *Project:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	case *UnionNode:
+		n.Left = chooseJoinStrategies(n.Left, s)
+		n.Right = chooseJoinStrategies(n.Right, s)
+		return n
+	case *DistinctNode:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	case *SortNode:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	case *LimitNode:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	case *AggNode:
+		n.Input = chooseJoinStrategies(n.Input, s)
+		return n
+	default:
+		return p
+	}
+}

@@ -1,0 +1,418 @@
+// Package sparql implements the SPARQL subset the surveyed systems
+// support (the survey's "SPARQL Fragment" dimension): basic graph
+// patterns plus FILTER, OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT,
+// OFFSET, projection, ASK, and COUNT/AVG aggregates (BGP+). It provides
+// the shared front end (lexer, parser, algebra), a query-shape
+// classifier (star / linear / snowflake / complex, Sec. II.B), and a
+// reference evaluator used as ground truth for every engine.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Var is a SPARQL variable name without the leading '?'.
+type Var string
+
+// TPElem is one position of a triple pattern: a variable or a constant
+// term.
+type TPElem struct {
+	IsVar bool
+	Var   Var
+	Term  rdf.Term
+}
+
+// VarElem builds a variable element.
+func VarElem(v Var) TPElem { return TPElem{IsVar: true, Var: v} }
+
+// TermElem builds a constant element.
+func TermElem(t rdf.Term) TPElem { return TPElem{Term: t} }
+
+func (e TPElem) String() string {
+	if e.IsVar {
+		return "?" + string(e.Var)
+	}
+	return e.Term.String()
+}
+
+// TriplePattern is one pattern of a basic graph pattern; each position
+// may be a variable or a constant.
+type TriplePattern struct {
+	S, P, O TPElem
+}
+
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Vars returns the distinct variables of the pattern in S,P,O order.
+func (tp TriplePattern) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, e := range []TPElem{tp.S, tp.P, tp.O} {
+		if e.IsVar && !seen[e.Var] {
+			seen[e.Var] = true
+			out = append(out, e.Var)
+		}
+	}
+	return out
+}
+
+// Matches reports whether a concrete triple matches the pattern
+// ignoring variable consistency (callers handle shared variables).
+func (tp TriplePattern) Matches(t rdf.Triple) bool {
+	if !tp.S.IsVar && tp.S.Term != t.S {
+		return false
+	}
+	if !tp.P.IsVar && tp.P.Term != t.P {
+		return false
+	}
+	if !tp.O.IsVar && tp.O.Term != t.O {
+		return false
+	}
+	return true
+}
+
+// GraphPattern is a node of the SPARQL algebra.
+type GraphPattern interface {
+	// PatternVars lists every variable mentioned in the pattern.
+	PatternVars() []Var
+	fmt.Stringer
+}
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct {
+	Patterns []TriplePattern
+}
+
+// PatternVars implements GraphPattern.
+func (b BGP) PatternVars() []Var { return dedupVars(b.collect()) }
+
+func (b BGP) collect() []Var {
+	var out []Var
+	for _, tp := range b.Patterns {
+		out = append(out, tp.Vars()...)
+	}
+	return out
+}
+
+func (b BGP) String() string {
+	parts := make([]string, len(b.Patterns))
+	for i, tp := range b.Patterns {
+		parts[i] = tp.String()
+	}
+	return strings.Join(parts, " . ")
+}
+
+// Filter restricts the solutions of Inner by Cond.
+type Filter struct {
+	Inner GraphPattern
+	Cond  FilterExpr
+}
+
+// PatternVars implements GraphPattern.
+func (f Filter) PatternVars() []Var { return f.Inner.PatternVars() }
+
+func (f Filter) String() string {
+	return f.Inner.String() + " FILTER(" + f.Cond.String() + ")"
+}
+
+// Optional is a left-join: solutions of Left optionally extended by
+// Right.
+type Optional struct {
+	Left, Right GraphPattern
+}
+
+// PatternVars implements GraphPattern.
+func (o Optional) PatternVars() []Var {
+	return dedupVars(append(o.Left.PatternVars(), o.Right.PatternVars()...))
+}
+
+func (o Optional) String() string {
+	return o.Left.String() + " OPTIONAL { " + o.Right.String() + " }"
+}
+
+// Union is the alternation of two patterns.
+type Union struct {
+	Left, Right GraphPattern
+}
+
+// PatternVars implements GraphPattern.
+func (u Union) PatternVars() []Var {
+	return dedupVars(append(u.Left.PatternVars(), u.Right.PatternVars()...))
+}
+
+func (u Union) String() string {
+	return "{ " + u.Left.String() + " } UNION { " + u.Right.String() + " }"
+}
+
+// Group is the sequential join of sub-patterns.
+type Group struct {
+	Parts []GraphPattern
+}
+
+// PatternVars implements GraphPattern.
+func (g Group) PatternVars() []Var {
+	var all []Var
+	for _, p := range g.Parts {
+		all = append(all, p.PatternVars()...)
+	}
+	return dedupVars(all)
+}
+
+func (g Group) String() string {
+	parts := make([]string, len(g.Parts))
+	for i, p := range g.Parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func dedupVars(vs []Var) []Var {
+	seen := map[Var]bool{}
+	var out []Var
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// QueryForm distinguishes SELECT from ASK.
+type QueryForm int
+
+// Query forms.
+const (
+	FormSelect QueryForm = iota
+	FormAsk
+	FormConstruct
+	FormDescribe
+)
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var Var
+	Asc bool
+}
+
+// Aggregate describes an aggregate projection such as COUNT(?x) or
+// AVG(?age) (the survey's BGP+ additions).
+type Aggregate struct {
+	Fn    string // COUNT, SUM, AVG, MIN, MAX
+	Var   Var    // argument variable; empty means COUNT(*)
+	As    Var    // result name
+	Group []Var  // GROUP BY variables
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form       QueryForm
+	Distinct   bool
+	Projection []Var // empty means SELECT *
+	Agg        *Aggregate
+	// Template holds the CONSTRUCT template patterns (FormConstruct).
+	Template []TriplePattern
+	// Describe holds the DESCRIBE targets (FormDescribe): variables
+	// and/or constant resources.
+	Describe []TPElem
+	Where    GraphPattern
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int
+}
+
+// SelectedVars returns the variables the query projects (all pattern
+// variables for SELECT *), in projection order.
+func (q *Query) SelectedVars() []Var {
+	if q.Agg != nil {
+		out := append([]Var{}, q.Agg.Group...)
+		return append(out, q.Agg.As)
+	}
+	if len(q.Projection) > 0 {
+		return q.Projection
+	}
+	vs := q.Where.PatternVars()
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// BGPOf returns the flattened triple patterns when the WHERE clause is
+// (or reduces to) a pure conjunction of BGPs; ok is false otherwise.
+// Many surveyed engines support exactly this fragment.
+func (q *Query) BGPOf() (BGP, bool) {
+	var collect func(GraphPattern) ([]TriplePattern, bool)
+	collect = func(p GraphPattern) ([]TriplePattern, bool) {
+		switch n := p.(type) {
+		case BGP:
+			return n.Patterns, true
+		case Group:
+			var all []TriplePattern
+			for _, part := range n.Parts {
+				tps, ok := collect(part)
+				if !ok {
+					return nil, false
+				}
+				all = append(all, tps...)
+			}
+			return all, true
+		default:
+			return nil, false
+		}
+	}
+	tps, ok := collect(q.Where)
+	return BGP{Patterns: tps}, ok
+}
+
+// FilterExpr is a FILTER condition.
+type FilterExpr interface {
+	// EvalFilter computes the effective boolean value under b.
+	EvalFilter(b Binding) bool
+	fmt.Stringer
+}
+
+// Comparison compares a variable (or constant) with another operand.
+type Comparison struct {
+	Op   string // = != < <= > >=
+	L, R Operand
+}
+
+// Operand is either a variable or a constant term.
+type Operand struct {
+	IsVar bool
+	Var   Var
+	Term  rdf.Term
+}
+
+func (o Operand) String() string {
+	if o.IsVar {
+		return "?" + string(o.Var)
+	}
+	return o.Term.String()
+}
+
+func (o Operand) resolve(b Binding) (rdf.Term, bool) {
+	if !o.IsVar {
+		return o.Term, true
+	}
+	t, ok := b[o.Var]
+	return t, ok
+}
+
+// EvalFilter implements FilterExpr.
+func (c Comparison) EvalFilter(b Binding) bool {
+	l, ok := c.L.resolve(b)
+	if !ok {
+		return false
+	}
+	r, ok := c.R.resolve(b)
+	if !ok {
+		return false
+	}
+	cmp := CompareTerms(l, r)
+	switch c.Op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+func (c Comparison) String() string {
+	return c.L.String() + " " + c.Op + " " + c.R.String()
+}
+
+// LogicalAnd is &&.
+type LogicalAnd struct{ L, R FilterExpr }
+
+// EvalFilter implements FilterExpr.
+func (a LogicalAnd) EvalFilter(b Binding) bool { return a.L.EvalFilter(b) && a.R.EvalFilter(b) }
+
+func (a LogicalAnd) String() string { return "(" + a.L.String() + " && " + a.R.String() + ")" }
+
+// LogicalOr is ||.
+type LogicalOr struct{ L, R FilterExpr }
+
+// EvalFilter implements FilterExpr.
+func (o LogicalOr) EvalFilter(b Binding) bool { return o.L.EvalFilter(b) || o.R.EvalFilter(b) }
+
+func (o LogicalOr) String() string { return "(" + o.L.String() + " || " + o.R.String() + ")" }
+
+// LogicalNot is !.
+type LogicalNot struct{ E FilterExpr }
+
+// EvalFilter implements FilterExpr.
+func (n LogicalNot) EvalFilter(b Binding) bool { return !n.E.EvalFilter(b) }
+
+func (n LogicalNot) String() string { return "!(" + n.E.String() + ")" }
+
+// Bound is BOUND(?x).
+type Bound struct{ Var Var }
+
+// EvalFilter implements FilterExpr.
+func (bd Bound) EvalFilter(b Binding) bool { _, ok := b[bd.Var]; return ok }
+
+func (bd Bound) String() string { return "BOUND(?" + string(bd.Var) + ")" }
+
+// CompareTerms orders two terms: numeric literals numerically, other
+// terms by kind then lexical value. It defines the semantics of FILTER
+// comparisons and ORDER BY for the whole reproduction.
+func CompareTerms(a, b rdf.Term) int {
+	if a.IsLiteral() && b.IsLiteral() {
+		if af, aok := numericValue(a); aok {
+			if bf, bok := numericValue(b); bok {
+				switch {
+				case af < bf:
+					return -1
+				case af > bf:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+	}
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if c := strings.Compare(a.Value, b.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Datatype, b.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Lang, b.Lang)
+}
+
+// numericValue extracts a float from a datatyped literal. Plain
+// (untyped) literals are simple strings and never numeric, matching
+// SPARQL's operator semantics.
+func numericValue(t rdf.Term) (float64, bool) {
+	if !t.IsLiteral() || t.Datatype == "" {
+		return 0, false
+	}
+	var f float64
+	var tail string
+	n, err := fmt.Sscanf(t.Value, "%g%s", &f, &tail)
+	if err == nil && n == 2 {
+		return 0, false
+	}
+	if n >= 1 {
+		return f, true
+	}
+	return 0, false
+}

@@ -1,0 +1,212 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Evaluate runs q over g with the reference evaluator: a direct,
+// centralized implementation of the SPARQL algebra. Every distributed
+// engine in internal/systems is tested against it.
+func Evaluate(q *Query, g *rdf.Graph) (*Results, error) {
+	rows, err := evalPattern(q.Where, g)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == FormDescribe {
+		return describeResources(q, rows, g), nil
+	}
+	return ApplySolutionModifiers(q, rows), nil
+}
+
+// describeResources returns the description graph of a DESCRIBE query:
+// for every target resource (constant, or each binding of a target
+// variable), all triples with that resource as subject — a simplified
+// concise bounded description.
+func describeResources(q *Query, rows []Binding, g *rdf.Graph) *Results {
+	targets := map[rdf.Term]bool{}
+	var order []rdf.Term
+	add := func(t rdf.Term) {
+		if t.IsLiteral() || targets[t] {
+			return
+		}
+		targets[t] = true
+		order = append(order, t)
+	}
+	for _, el := range q.Describe {
+		if !el.IsVar {
+			add(el.Term)
+			continue
+		}
+		for _, b := range rows {
+			if t, ok := b[el.Var]; ok {
+				add(t)
+			}
+		}
+	}
+	res := &Results{IsGraph: true}
+	seen := map[rdf.Triple]bool{}
+	for _, t := range order {
+		for _, tr := range g.WithSubject(t) {
+			if !seen[tr] {
+				seen[tr] = true
+				res.Triples = append(res.Triples, tr)
+			}
+		}
+	}
+	return res
+}
+
+func evalPattern(p GraphPattern, g *rdf.Graph) ([]Binding, error) {
+	switch n := p.(type) {
+	case BGP:
+		return evalBGP(n, g), nil
+	case Group:
+		rows := []Binding{{}}
+		for _, part := range n.Parts {
+			sub, err := evalPattern(part, g)
+			if err != nil {
+				return nil, err
+			}
+			rows = joinBindings(rows, sub)
+		}
+		return rows, nil
+	case Filter:
+		rows, err := evalPattern(n.Inner, g)
+		if err != nil {
+			return nil, err
+		}
+		var kept []Binding
+		for _, b := range rows {
+			if n.Cond.EvalFilter(b) {
+				kept = append(kept, b)
+			}
+		}
+		return kept, nil
+	case Optional:
+		left, err := evalPattern(n.Left, g)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPattern(n.Right, g)
+		if err != nil {
+			return nil, err
+		}
+		var out []Binding
+		for _, l := range left {
+			matched := false
+			for _, r := range right {
+				if l.Compatible(r) {
+					out = append(out, l.Merge(r))
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, l.Clone())
+			}
+		}
+		return out, nil
+	case Union:
+		left, err := evalPattern(n.Left, g)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPattern(n.Right, g)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	default:
+		return nil, fmt.Errorf("sparql: cannot evaluate pattern %T", p)
+	}
+}
+
+// evalBGP evaluates a conjunction of triple patterns by iterated
+// selection and join, using the graph's indexes to pick candidates.
+func evalBGP(b BGP, g *rdf.Graph) []Binding {
+	rows := []Binding{{}}
+	for _, tp := range b.Patterns {
+		var next []Binding
+		for _, row := range rows {
+			for _, m := range matchPattern(tp, row, g) {
+				next = append(next, m)
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return rows
+}
+
+// matchPattern extends binding row with every triple matching tp.
+func matchPattern(tp TriplePattern, row Binding, g *rdf.Graph) []Binding {
+	// Substitute already-bound variables.
+	resolved := tp
+	for i, e := range []*TPElem{&resolved.S, &resolved.P, &resolved.O} {
+		_ = i
+		if e.IsVar {
+			if t, ok := row[e.Var]; ok {
+				*e = TermElem(t)
+			}
+		}
+	}
+	// Choose the most selective index.
+	var candidates []rdf.Triple
+	switch {
+	case !resolved.S.IsVar:
+		candidates = g.WithSubject(resolved.S.Term)
+	case !resolved.O.IsVar:
+		candidates = g.WithObject(resolved.O.Term)
+	case !resolved.P.IsVar:
+		candidates = g.WithPredicate(resolved.P.Term.Value)
+	default:
+		candidates = g.Triples()
+	}
+	var out []Binding
+	for _, t := range candidates {
+		if !resolved.Matches(t) {
+			continue
+		}
+		nb := row.Clone()
+		ok := true
+		bind := func(e TPElem, val rdf.Term) {
+			if !e.IsVar {
+				return
+			}
+			if cur, bound := nb[e.Var]; bound {
+				if cur != val {
+					ok = false
+				}
+				return
+			}
+			nb[e.Var] = val
+		}
+		bind(tp.S, t.S)
+		if ok {
+			bind(tp.P, t.P)
+		}
+		if ok {
+			bind(tp.O, t.O)
+		}
+		if ok {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// joinBindings computes the SPARQL join of two solution sequences.
+func joinBindings(a, b []Binding) []Binding {
+	var out []Binding
+	for _, x := range a {
+		for _, y := range b {
+			if x.Compatible(y) {
+				out = append(out, x.Merge(y))
+			}
+		}
+	}
+	return out
+}

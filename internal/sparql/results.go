@@ -1,0 +1,368 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Binding maps variables to the terms they are bound to; absent
+// variables are unbound (possible under OPTIONAL).
+type Binding map[Var]rdf.Term
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Compatible reports whether two bindings agree on every shared
+// variable (the SPARQL join condition).
+func (b Binding) Compatible(other Binding) bool {
+	for k, v := range b {
+		if ov, ok := other[k]; ok && ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible bindings.
+func (b Binding) Merge(other Binding) Binding {
+	out := b.Clone()
+	for k, v := range other {
+		out[k] = v
+	}
+	return out
+}
+
+// Results is a solution sequence: an ordered list of bindings projected
+// over Vars. All engines return this type, so results are directly
+// comparable across systems.
+type Results struct {
+	Vars []Var
+	Rows []Binding
+	// Ask holds the answer of an ASK query; Rows is empty then.
+	Ask bool
+	// IsAsk marks ASK results.
+	IsAsk bool
+	// Triples holds the constructed graph of a CONSTRUCT query;
+	// IsGraph marks such results.
+	Triples []rdf.Triple
+	IsGraph bool
+}
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Project restricts rows to the given variables (used by engines after
+// evaluating the full pattern).
+func (r *Results) Project(vars []Var) *Results {
+	rows := make([]Binding, len(r.Rows))
+	for i, b := range r.Rows {
+		nb := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				nb[v] = t
+			}
+		}
+		rows[i] = nb
+	}
+	return &Results{Vars: append([]Var{}, vars...), Rows: rows}
+}
+
+// rowKey renders one binding canonically over the result variables.
+func (r *Results) rowKey(b Binding) string {
+	parts := make([]string, len(r.Vars))
+	for i, v := range r.Vars {
+		if t, ok := b[v]; ok {
+			parts[i] = t.String()
+		} else {
+			parts[i] = "UNBOUND"
+		}
+	}
+	return strings.Join(parts, "\t")
+}
+
+// Canonical returns the solutions as sorted canonical strings — a
+// multiset fingerprint used to compare engines against the reference
+// evaluator.
+func (r *Results) Canonical() []string {
+	out := make([]string, len(r.Rows))
+	for i, b := range r.Rows {
+		out[i] = r.rowKey(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OrderedCanonical returns the solutions in result order (for ORDER BY
+// comparisons).
+func (r *Results) OrderedCanonical() []string {
+	out := make([]string, len(r.Rows))
+	for i, b := range r.Rows {
+		out[i] = r.rowKey(b)
+	}
+	return out
+}
+
+// Equal reports whether two result sets hold the same multiset of
+// solutions over the same variables (or, for ASK/CONSTRUCT, the same
+// answer / the same graph).
+func (r *Results) Equal(other *Results) bool {
+	if r.IsAsk != other.IsAsk || r.IsGraph != other.IsGraph {
+		return false
+	}
+	if r.IsAsk {
+		return r.Ask == other.Ask
+	}
+	if r.IsGraph {
+		if len(r.Triples) != len(other.Triples) {
+			return false
+		}
+		g := rdf.NewGraph(other.Triples)
+		for _, t := range r.Triples {
+			if !g.Has(t) {
+				return false
+			}
+		}
+		return true
+	}
+	a, b := r.Canonical(), other.Canonical()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small results table for CLIs and examples.
+func (r *Results) String() string {
+	if r.IsAsk {
+		return fmt.Sprintf("ASK => %v", r.Ask)
+	}
+	if r.IsGraph {
+		var b strings.Builder
+		for _, t := range r.Triples {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteString("\t")
+		}
+		b.WriteString("?" + string(v))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(r.rowKey(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortRows orders rows by the given keys (stable), used by engines to
+// apply ORDER BY uniformly.
+func (r *Results) SortRows(keys []OrderKey) {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			ti, iok := r.Rows[i][k.Var]
+			tj, jok := r.Rows[j][k.Var]
+			if !iok && !jok {
+				continue
+			}
+			if !iok {
+				return k.Asc
+			}
+			if !jok {
+				return !k.Asc
+			}
+			c := CompareTerms(ti, tj)
+			if c == 0 {
+				continue
+			}
+			if k.Asc {
+				return c < 0
+			}
+			return c > 0
+		}
+		return false
+	})
+}
+
+// ApplySolutionModifiers applies DISTINCT / ORDER BY / OFFSET / LIMIT /
+// projection / aggregation in the standard SPARQL order. Engines
+// evaluate the graph pattern their own way, then share this tail.
+func ApplySolutionModifiers(q *Query, rows []Binding) *Results {
+	if q.Agg != nil {
+		rows = aggregateRows(q.Agg, rows)
+	}
+	vars := q.SelectedVars()
+	res := &Results{Vars: vars, Rows: rows}
+	res = res.Project(vars)
+	if q.Distinct {
+		seen := map[string]bool{}
+		var kept []Binding
+		for _, b := range res.Rows {
+			k := res.rowKey(b)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, b)
+			}
+		}
+		res.Rows = kept
+	}
+	if len(q.OrderBy) > 0 {
+		res.SortRows(q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	if q.Form == FormAsk {
+		return &Results{IsAsk: true, Ask: len(rows) > 0}
+	}
+	if q.Form == FormConstruct {
+		return &Results{IsGraph: true, Triples: InstantiateTemplate(q.Template, res.Rows)}
+	}
+	return res
+}
+
+// InstantiateTemplate builds the CONSTRUCT output graph: the template
+// patterns instantiated under every solution, dropping instantiations
+// with unbound variables or invalid positions, deduplicated (a SPARQL
+// CONSTRUCT result is a graph, i.e. a set).
+func InstantiateTemplate(template []TriplePattern, rows []Binding) []rdf.Triple {
+	var out []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	resolve := func(el TPElem, b Binding) (rdf.Term, bool) {
+		if !el.IsVar {
+			return el.Term, true
+		}
+		t, ok := b[el.Var]
+		return t, ok
+	}
+	for _, b := range rows {
+		for _, tp := range template {
+			s, ok := resolve(tp.S, b)
+			if !ok {
+				continue
+			}
+			p, ok := resolve(tp.P, b)
+			if !ok {
+				continue
+			}
+			o, ok := resolve(tp.O, b)
+			if !ok {
+				continue
+			}
+			t := rdf.Triple{S: s, P: p, O: o}
+			if t.Validate() != nil || seen[t] {
+				continue
+			}
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// aggregateRows evaluates the single supported aggregate over rows.
+func aggregateRows(agg *Aggregate, rows []Binding) []Binding {
+	type acc struct {
+		group Binding
+		count int
+		sum   float64
+		min   *rdf.Term
+		max   *rdf.Term
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, b := range rows {
+		parts := make([]string, len(agg.Group))
+		for i, g := range agg.Group {
+			if t, ok := b[g]; ok {
+				parts[i] = t.String()
+			}
+		}
+		key := strings.Join(parts, "\t")
+		a, ok := groups[key]
+		if !ok {
+			gb := Binding{}
+			for _, g := range agg.Group {
+				if t, has := b[g]; has {
+					gb[g] = t
+				}
+			}
+			a = &acc{group: gb}
+			groups[key] = a
+			order = append(order, key)
+		}
+		if agg.Var == "" { // COUNT(*)
+			a.count++
+			continue
+		}
+		t, bound := b[agg.Var]
+		if !bound {
+			continue
+		}
+		a.count++
+		if f, ok := numericValue(t); ok {
+			a.sum += f
+		}
+		tc := t
+		if a.min == nil || CompareTerms(tc, *a.min) < 0 {
+			a.min = &tc
+		}
+		if a.max == nil || CompareTerms(tc, *a.max) > 0 {
+			a.max = &tc
+		}
+	}
+	numLit := func(f float64) rdf.Term {
+		s := strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+		return rdf.NewTypedLiteral(s, rdf.XSDInteger)
+	}
+	var out []Binding
+	for _, key := range order {
+		a := groups[key]
+		b := a.group.Clone()
+		switch agg.Fn {
+		case "COUNT":
+			b[agg.As] = rdf.NewTypedLiteral(fmt.Sprint(a.count), rdf.XSDInteger)
+		case "SUM":
+			b[agg.As] = numLit(a.sum)
+		case "AVG":
+			if a.count > 0 {
+				b[agg.As] = numLit(a.sum / float64(a.count))
+			}
+		case "MIN":
+			if a.min != nil {
+				b[agg.As] = *a.min
+			}
+		case "MAX":
+			if a.max != nil {
+				b[agg.As] = *a.max
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package sparql
+
+// Shape classifies the join structure of a BGP, the query-shape
+// taxonomy of the survey's Sec. II.B: star (subject-subject joins),
+// linear (subject-object chains), snowflake (connected stars), and
+// complex (everything else). Shape strongly predicts which engine wins,
+// which is why the assessment harness sweeps all four.
+type Shape int
+
+// Query shapes.
+const (
+	ShapeStar Shape = iota
+	ShapeLinear
+	ShapeSnowflake
+	ShapeComplex
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeStar:
+		return "star"
+	case ShapeLinear:
+		return "linear"
+	case ShapeSnowflake:
+		return "snowflake"
+	default:
+		return "complex"
+	}
+}
+
+// ClassifyShape inspects the triple patterns of a query's BGP and
+// returns its shape. Queries that do not reduce to a BGP are complex.
+func ClassifyShape(q *Query) Shape {
+	bgp, ok := q.BGPOf()
+	if !ok {
+		return ShapeComplex
+	}
+	return ClassifyBGP(bgp)
+}
+
+// ClassifyBGP classifies a bare BGP.
+//
+//   - star: every pattern shares one subject;
+//   - linear: the patterns form a chain where each consecutive pair is
+//     connected by an object-subject (or subject-object) join;
+//   - snowflake: several star hubs connected by linear links;
+//   - complex: anything else (including patterns with variable
+//     predicates joining on the predicate position).
+func ClassifyBGP(b BGP) Shape {
+	n := len(b.Patterns)
+	if n == 0 {
+		return ShapeComplex
+	}
+	if n == 1 {
+		return ShapeStar
+	}
+
+	// Star: all subjects identical (same var or same constant).
+	allSame := true
+	for _, tp := range b.Patterns[1:] {
+		if !sameElem(tp.S, b.Patterns[0].S) {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return ShapeStar
+	}
+
+	if isLinear(b) {
+		return ShapeLinear
+	}
+	if isSnowflake(b) {
+		return ShapeSnowflake
+	}
+	return ShapeComplex
+}
+
+func sameElem(a, b TPElem) bool {
+	if a.IsVar != b.IsVar {
+		return false
+	}
+	if a.IsVar {
+		return a.Var == b.Var
+	}
+	return a.Term == b.Term
+}
+
+// isLinear checks for a subject-object chain: patterns can be ordered
+// so that each pattern's subject equals the previous pattern's object.
+func isLinear(b BGP) bool {
+	n := len(b.Patterns)
+	used := make([]bool, n)
+	// Try each pattern as the chain head.
+	for head := 0; head < n; head++ {
+		for i := range used {
+			used[i] = false
+		}
+		used[head] = true
+		cur := b.Patterns[head]
+		count := 1
+		for count < n {
+			found := -1
+			for i, tp := range b.Patterns {
+				if used[i] {
+					continue
+				}
+				if sameElem(tp.S, cur.O) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			used[found] = true
+			cur = b.Patterns[found]
+			count++
+		}
+		if count == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isSnowflake checks for connected star clusters: group patterns by
+// subject; the quotient graph (stars linked when one star's object is
+// another star's subject) must be connected and have at least two
+// stars, with at least one star of size >= 2.
+func isSnowflake(b BGP) bool {
+	groups := map[string][]TriplePattern{}
+	keyOf := func(e TPElem) string {
+		if e.IsVar {
+			return "?" + string(e.Var)
+		}
+		return e.Term.String()
+	}
+	for _, tp := range b.Patterns {
+		k := keyOf(tp.S)
+		groups[k] = append(groups[k], tp)
+	}
+	// An object-object join on a variable that is never a subject makes
+	// the query cyclic/complex, not a snowflake.
+	objCount := map[string]int{}
+	for _, tp := range b.Patterns {
+		if tp.O.IsVar {
+			objCount[keyOf(tp.O)]++
+		}
+	}
+	for k, n := range objCount {
+		if n >= 2 {
+			if _, isSubject := groups[k]; !isSubject {
+				return false
+			}
+		}
+	}
+	if len(groups) < 2 {
+		return false
+	}
+	hasStar := false
+	for _, g := range groups {
+		if len(g) >= 2 {
+			hasStar = true
+		}
+	}
+	if !hasStar {
+		return false
+	}
+	// Connectivity over the star-link graph.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	adj := map[string][]string{}
+	for _, k := range keys {
+		for _, tp := range groups[k] {
+			ok := keyOf(tp.O)
+			if _, exists := groups[ok]; exists && ok != k {
+				adj[k] = append(adj[k], ok)
+				adj[ok] = append(adj[ok], k)
+			}
+		}
+	}
+	visited := map[string]bool{}
+	stack := []string{keys[0]}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[k] {
+			continue
+		}
+		visited[k] = true
+		stack = append(stack, adj[k]...)
+	}
+	return len(visited) == len(groups)
+}

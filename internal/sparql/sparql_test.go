@@ -1,0 +1,450 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func num(s string) rdf.Term { return rdf.NewTypedLiteral(s, rdf.XSDInteger) }
+
+// socialGraph is the fixture most tests query.
+func socialGraph() *rdf.Graph {
+	return rdf.NewGraph([]rdf.Triple{
+		{S: iri("ann"), P: iri("knows"), O: iri("bob")},
+		{S: iri("bob"), P: iri("knows"), O: iri("cid")},
+		{S: iri("ann"), P: iri("age"), O: num("31")},
+		{S: iri("bob"), P: iri("age"), O: num("25")},
+		{S: iri("cid"), P: iri("age"), O: num("44")},
+		{S: iri("ann"), P: iri("name"), O: lit("Ann")},
+		{S: iri("bob"), P: iri("name"), O: lit("Bob")},
+		{S: iri("ann"), P: rdf.NewIRI(rdf.RDFType), O: iri("Person")},
+		{S: iri("bob"), P: rdf.NewIRI(rdf.RDFType), O: iri("Person")},
+	})
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != FormSelect || q.Distinct {
+		t.Fatalf("form = %v distinct=%v", q.Form, q.Distinct)
+	}
+	if !reflect.DeepEqual(q.Projection, []Var{"x", "y"}) {
+		t.Fatalf("projection = %v", q.Projection)
+	}
+	bgp, ok := q.BGPOf()
+	if !ok || len(bgp.Patterns) != 1 {
+		t.Fatalf("BGP = %v %v", bgp, ok)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := Parse(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:knows ex:bob }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, _ := q.BGPOf()
+	if bgp.Patterns[0].P.Term != iri("knows") {
+		t.Fatalf("predicate = %v", bgp.Patterns[0].P)
+	}
+	if bgp.Patterns[0].O.Term != iri("bob") {
+		t.Fatalf("object = %v", bgp.Patterns[0].O)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x a <http://ex.org/Person> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, _ := q.BGPOf()
+	if bgp.Patterns[0].P.Term.Value != rdf.RDFType {
+		t.Fatalf("a did not expand to rdf:type: %v", bgp.Patterns[0].P)
+	}
+}
+
+func TestParseSemicolonComma(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { ?x <http://e/p> ?y ; <http://e/q> ?z , ?w }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, _ := q.BGPOf()
+	if len(bgp.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(bgp.Patterns))
+	}
+	if bgp.Patterns[1].S != bgp.Patterns[0].S || bgp.Patterns[2].P != bgp.Patterns[1].P {
+		t.Fatalf("continuations wrong: %v", bgp.Patterns)
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <http://e/p> ?y } ORDER BY DESC(?x) LIMIT 5 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct || q.Limit != 5 || q.Offset != 2 {
+		t.Fatalf("modifiers = %+v", q)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Asc {
+		t.Fatalf("orderBy = %v", q.OrderBy)
+	}
+}
+
+func TestParseFilterOptionalUnion(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		?x <http://e/p> ?y .
+		FILTER(?y > 3 && ?y != 10)
+		OPTIONAL { ?x <http://e/q> ?z }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Where.(Optional); !ok {
+		t.Fatalf("top pattern = %T", q.Where)
+	}
+	q2, err := Parse(`SELECT * WHERE { { ?x <http://e/p> ?y } UNION { ?x <http://e/q> ?y } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q2.Where.(Union); !ok {
+		t.Fatalf("top pattern = %T", q2.Where)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q, err := Parse(`ASK { <http://e/s> <http://e/p> <http://e/o> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != FormAsk {
+		t.Fatalf("form = %v", q.Form)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	q, err := Parse(`SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://e/p> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg == nil || q.Agg.Fn != "COUNT" || q.Agg.As != "n" {
+		t.Fatalf("agg = %+v", q.Agg)
+	}
+	q2, err := Parse(`SELECT ?y AVG(?x) WHERE { ?s <http://e/p> ?x . ?s <http://e/q> ?y } GROUP BY ?y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Agg == nil || q2.Agg.Fn != "AVG" || len(q2.Agg.Group) != 1 {
+		t.Fatalf("agg = %+v", q2.Agg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT WHERE { }",
+		"SELECT ?x { ?x ?p ?o }", // missing WHERE
+		"SELECT ?x WHERE { ?x ?p }",
+		"SELECT ?x WHERE { ?x ?p ?o",
+		"SELECT ?x WHERE { ?x ?p ?o } LIMIT x",
+		"SELECT ?x WHERE { ?x unknown:p ?o }",
+		"SELECT ?x WHERE { ?x ?p ?o } trailing",
+		"SELECT ?x WHERE { ?x ?p \"unterminated }",
+		"SELECT ?x WHERE { FILTER() ?x ?p ?o }",
+		"SELECT ?x WHERE { ?x ?p ?o } GROUP BY ?x",
+		"ASK { ?x ?p ?o } ORDER BY",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEvaluateSingleTP(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+}
+
+func TestEvaluateStarJoin(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x ?n ?a WHERE {
+		?x <http://ex.org/name> ?n .
+		?x <http://ex.org/age> ?a }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // ann and bob have both name and age
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateLinearJoin(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?a ?c WHERE {
+		?a <http://ex.org/knows> ?b .
+		?b <http://ex.org/knows> ?c }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+	row := res.Rows[0]
+	if row["a"] != iri("ann") || row["c"] != iri("cid") {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestEvaluateSharedVariableConsistency(t *testing.T) {
+	// ?x knows ?x must only match self-loops (none here).
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x WHERE { ?x <http://ex.org/knows> ?x }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateFilter(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x WHERE {
+		?x <http://ex.org/age> ?a . FILTER(?a > 30) }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, b := range res.Rows {
+		got[b["x"].Value] = true
+	}
+	if len(got) != 2 || !got["http://ex.org/ann"] || !got["http://ex.org/cid"] {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateFilterLogic(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x WHERE {
+		?x <http://ex.org/age> ?a . FILTER(?a > 30 && !(?a >= 40)) }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0]["x"] != iri("ann") {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+	res2, err := Evaluate(MustParse(`SELECT ?x WHERE {
+		?x <http://ex.org/age> ?a . FILTER(?a < 26 || ?a > 43) }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 2 {
+		t.Fatalf("rows = %v", res2.Canonical())
+	}
+}
+
+func TestEvaluateOptional(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x ?n WHERE {
+		?x <http://ex.org/age> ?a .
+		OPTIONAL { ?x <http://ex.org/name> ?n } }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+	unbound := 0
+	for _, b := range res.Rows {
+		if _, ok := b["n"]; !ok {
+			unbound++
+		}
+	}
+	if unbound != 1 { // cid has no name
+		t.Fatalf("unbound = %d", unbound)
+	}
+}
+
+func TestEvaluateBoundFilter(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x WHERE {
+		?x <http://ex.org/age> ?a .
+		OPTIONAL { ?x <http://ex.org/name> ?n }
+		FILTER(!BOUND(?n)) }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0]["x"] != iri("cid") {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateUnion(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x WHERE {
+		{ ?x <http://ex.org/name> "Ann" } UNION { ?x <http://ex.org/name> "Bob" } }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateDistinctOrderLimit(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT DISTINCT ?a WHERE {
+		?x <http://ex.org/age> ?a } ORDER BY ?a LIMIT 2`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.OrderedCanonical()
+	if len(rows) != 2 || !strings.Contains(rows[0], "25") || !strings.Contains(rows[1], "31") {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEvaluateOrderDescending(t *testing.T) {
+	g := socialGraph()
+	res, err := Evaluate(MustParse(`SELECT ?x ?a WHERE {
+		?x <http://ex.org/age> ?a } ORDER BY DESC(?a)`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0]["x"] != iri("cid") {
+		t.Fatalf("head = %v", res.Rows[0])
+	}
+}
+
+func TestEvaluateAsk(t *testing.T) {
+	g := socialGraph()
+	yes, err := Evaluate(MustParse(`ASK { <http://ex.org/ann> <http://ex.org/knows> ?x }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes.IsAsk || !yes.Ask {
+		t.Fatalf("ask = %+v", yes)
+	}
+	no, err := Evaluate(MustParse(`ASK { <http://ex.org/cid> <http://ex.org/knows> ?x }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no.Ask {
+		t.Fatal("expected false")
+	}
+}
+
+func TestEvaluateCountAggregate(t *testing.T) {
+	g := socialGraph()
+	if _, err := Parse(`SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://ex.org/age) ?a }`); err == nil {
+		t.Fatal("expected parse error for malformed IRI")
+	}
+	res, err := Evaluate(MustParse(`SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://ex.org/age> ?a }`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0]["n"].Value != "3" {
+		t.Fatalf("count = %v", res.Canonical())
+	}
+}
+
+func TestEvaluateGroupedAvg(t *testing.T) {
+	g := rdf.NewGraph([]rdf.Triple{
+		{S: iri("a"), P: iri("dept"), O: lit("eng")},
+		{S: iri("b"), P: iri("dept"), O: lit("eng")},
+		{S: iri("a"), P: iri("age"), O: num("30")},
+		{S: iri("b"), P: iri("age"), O: num("40")},
+	})
+	res, err := Evaluate(MustParse(`SELECT ?d (AVG(?a) AS ?avg) WHERE {
+		?x <http://ex.org/dept> ?d . ?x <http://ex.org/age> ?a } GROUP BY ?d`), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0]["avg"].Value != "35" {
+		t.Fatalf("avg = %v", res.Canonical())
+	}
+}
+
+func TestResultsEqualIsOrderInsensitive(t *testing.T) {
+	a := &Results{Vars: []Var{"x"}, Rows: []Binding{{"x": iri("a")}, {"x": iri("b")}}}
+	b := &Results{Vars: []Var{"x"}, Rows: []Binding{{"x": iri("b")}, {"x": iri("a")}}}
+	if !a.Equal(b) {
+		t.Fatal("multiset equality failed")
+	}
+	c := &Results{Vars: []Var{"x"}, Rows: []Binding{{"x": iri("a")}, {"x": iri("a")}}}
+	if a.Equal(c) {
+		t.Fatal("different multisets compare equal")
+	}
+}
+
+func TestShapeClassification(t *testing.T) {
+	cases := []struct {
+		query string
+		want  Shape
+	}{
+		{`SELECT * WHERE { ?s <http://e/p1> ?a . ?s <http://e/p2> ?b . ?s <http://e/p3> ?c }`, ShapeStar},
+		{`SELECT * WHERE { ?s <http://e/p> ?o }`, ShapeStar},
+		{`SELECT * WHERE { ?a <http://e/p> ?b . ?b <http://e/q> ?c . ?c <http://e/r> ?d }`, ShapeLinear},
+		{`SELECT * WHERE { ?a <http://e/p1> ?x . ?a <http://e/p2> ?b . ?b <http://e/q1> ?y . ?b <http://e/q2> ?z }`, ShapeSnowflake},
+		{`SELECT * WHERE { ?a <http://e/p> ?x . ?b <http://e/q> ?y }`, ShapeComplex},
+		{`SELECT * WHERE { { ?a <http://e/p> ?x } UNION { ?a <http://e/q> ?x } }`, ShapeComplex},
+	}
+	for _, c := range cases {
+		got := ClassifyShape(MustParse(c.query))
+		if got != c.want {
+			t.Errorf("shape(%s) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestCompareTermsNumericVsLexical(t *testing.T) {
+	if CompareTerms(num("9"), num("10")) >= 0 {
+		t.Fatal("numeric literals must compare numerically")
+	}
+	if CompareTerms(lit("9"), lit("10")) <= 0 {
+		t.Fatal("plain strings compare lexically")
+	}
+	if CompareTerms(iri("a"), lit("a")) == 0 {
+		t.Fatal("IRI and literal must differ")
+	}
+}
+
+func TestBindingCompatibleMerge(t *testing.T) {
+	a := Binding{"x": iri("a"), "y": iri("b")}
+	b := Binding{"y": iri("b"), "z": iri("c")}
+	if !a.Compatible(b) {
+		t.Fatal("compatible bindings rejected")
+	}
+	m := a.Merge(b)
+	if len(m) != 3 || m["z"] != iri("c") {
+		t.Fatalf("merge = %v", m)
+	}
+	c := Binding{"y": iri("zzz")}
+	if a.Compatible(c) {
+		t.Fatal("incompatible bindings accepted")
+	}
+}
+
+func TestProjectDropsVars(t *testing.T) {
+	r := &Results{Vars: []Var{"x", "y"}, Rows: []Binding{{"x": iri("a"), "y": iri("b")}}}
+	p := r.Project([]Var{"y"})
+	if len(p.Vars) != 1 || p.Rows[0]["y"] != iri("b") {
+		t.Fatalf("project = %v", p)
+	}
+	if _, ok := p.Rows[0]["x"]; ok {
+		t.Fatal("x not dropped")
+	}
+}

@@ -1,0 +1,447 @@
+// Package haqwa reproduces HAQWA (Curé et al., ISWC 2015 P&D, survey
+// ref [7]): a hash-based and query-workload-aware distributed RDF
+// store, the first RDF-on-Spark approach. Its two-step fragmentation:
+//
+//  1. hash partitioning on triple subjects, which guarantees that
+//     star-shaped queries evaluate locally with no network traffic;
+//  2. workload-aware allocation: given the frequent queries, triples
+//     reachable over the subject→object links those queries use are
+//     replicated into the partition of the link's source subject, so
+//     the registered query forms also run locally.
+//
+// String values are dictionary-encoded to integers to shrink volume.
+// At query time a pattern is decomposed into subject-grouped (star)
+// sub-queries; each candidate seed evaluates locally and, when the
+// allocation does not cover a link, the missing join runs as a
+// distributed RDD join.
+package haqwa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/spark"
+	"repro/internal/sparql"
+)
+
+// Engine is the HAQWA system.
+type Engine struct {
+	ctx  *spark.Context
+	dict *rdf.Dictionary
+	// parts is the subject-hash-partitioned dataset (metered load).
+	parts *spark.RDD[rdf.EncodedTriple]
+	// native[i] indexes the triples whose subject hashes to partition i.
+	native []*rdf.Graph
+	// full[i] additionally contains replicated triples allocated to i.
+	full []*rdf.Graph
+	// coveredLinks records the link predicates the workload-aware
+	// allocation has replicated for (object-subject joins over them are
+	// local).
+	coveredLinks map[string]bool
+	numParts     int
+}
+
+// New creates an unloaded engine on ctx.
+func New(ctx *spark.Context) *Engine {
+	return &Engine{ctx: ctx, coveredLinks: map[string]bool{}}
+}
+
+// Info implements core.Engine.
+func (e *Engine) Info() core.SystemInfo {
+	return core.SystemInfo{
+		Name:            "HAQWA",
+		Citation:        "[7]",
+		Model:           core.TripleModel,
+		Abstractions:    []core.Abstraction{core.RDDAbstraction},
+		QueryProcessing: "RDD API",
+		Optimized:       false,
+		Partitioning:    "Hash / Query Aware",
+		SPARQL:          core.FragmentBGPPlus,
+	}
+}
+
+// Context implements core.Engine.
+func (e *Engine) Context() *spark.Context { return e.ctx }
+
+// Load encodes the dataset and hash-partitions it on the subject.
+func (e *Engine) Load(triples []rdf.Triple) error {
+	triples = rdf.Dedupe(triples)
+	e.dict = rdf.NewDictionary()
+	encoded := e.dict.EncodeAll(triples)
+	e.numParts = e.ctx.DefaultParallelism()
+
+	keyed := spark.KeyBy(spark.Parallelize(e.ctx, encoded), func(t rdf.EncodedTriple) rdf.TermID { return t.S })
+	placed := spark.PartitionBy(keyed, spark.NewHashPartitioner[rdf.TermID](e.numParts))
+	e.parts = spark.Values(placed)
+
+	e.native = make([]*rdf.Graph, e.numParts)
+	e.full = make([]*rdf.Graph, e.numParts)
+	for i := 0; i < e.numParts; i++ {
+		g := rdf.NewGraph(nil)
+		for _, enc := range e.parts.Partition(i) {
+			t, err := e.dict.DecodeTriple(enc)
+			if err != nil {
+				return fmt.Errorf("haqwa: %w", err)
+			}
+			g.Add(t)
+		}
+		e.native[i] = g
+		// full starts as a copy of native; Allocate adds replicas.
+		fg := rdf.NewGraph(nil)
+		for _, t := range g.Triples() {
+			fg.Add(t)
+		}
+		e.full[i] = fg
+	}
+	e.coveredLinks = map[string]bool{}
+	return nil
+}
+
+// subjectPartition returns the partition the subject's hash assigns.
+func (e *Engine) subjectPartition(s rdf.Term) int {
+	id, ok := e.dict.Lookup(s)
+	if !ok {
+		return 0
+	}
+	return spark.NewHashPartitioner[rdf.TermID](e.numParts).Partition(id)
+}
+
+// Allocate performs the second fragmentation step for a query
+// workload: for every subject→object link (?x p ?y joined with ?y q ?z)
+// in a workload query, the triples of the link target are replicated
+// into the partition of the link source, and p is recorded as covered.
+func (e *Engine) Allocate(workloadQueries []*sparql.Query) {
+	if e.parts == nil {
+		return
+	}
+	linkPreds := map[string]bool{}
+	for _, q := range workloadQueries {
+		bgp, ok := q.BGPOf()
+		if !ok {
+			continue
+		}
+		groups := groupBySubject(bgp.Patterns)
+		for _, ga := range groups {
+			for _, tp := range ga {
+				if !tp.O.IsVar || tp.P.IsVar {
+					continue
+				}
+				// Does some other group have this object var as subject?
+				for _, gb := range groups {
+					if len(gb) > 0 && gb[0].S.IsVar && gb[0].S.Var == tp.O.Var && !sameGroup(ga, gb) {
+						linkPreds[tp.P.Term.Value] = true
+					}
+				}
+			}
+		}
+	}
+	if len(linkPreds) == 0 {
+		return
+	}
+	// Replicate: for each link triple (s p o) with p covered, copy every
+	// triple with subject o into s's partition. The copies travel over
+	// the network once, which is metered as a shuffle-sized transfer.
+	replicas := 0
+	for i := 0; i < e.numParts; i++ {
+		for _, lt := range e.native[i].Triples() {
+			if !linkPreds[lt.P.Value] {
+				continue
+			}
+			targetPart := e.subjectPartition(lt.O)
+			for _, rt := range e.native[targetPart].Triples() {
+				if rt.S == lt.O && !e.full[i].Has(rt) {
+					e.full[i].Add(rt)
+					if targetPart != i {
+						replicas++
+					}
+				}
+			}
+		}
+	}
+	e.ctx.AddRead(replicas)
+	for p := range linkPreds {
+		e.coveredLinks[p] = true
+	}
+}
+
+// Execute implements core.Engine.
+func (e *Engine) Execute(q *sparql.Query) (*sparql.Results, error) {
+	if q.Form == sparql.FormDescribe {
+		return nil, fmt.Errorf("haqwa: DESCRIBE is not supported (use the reference evaluator)")
+	}
+	if e.parts == nil {
+		return nil, fmt.Errorf("haqwa: no dataset loaded")
+	}
+	rows, err := e.evalPattern(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ApplySolutionModifiers(q, rows), nil
+}
+
+func (e *Engine) evalPattern(p sparql.GraphPattern) ([]sparql.Binding, error) {
+	switch n := p.(type) {
+	case sparql.BGP:
+		return e.evalBGP(n)
+	case sparql.Group:
+		rows := []sparql.Binding{{}}
+		for _, part := range n.Parts {
+			sub, err := e.evalPattern(part)
+			if err != nil {
+				return nil, err
+			}
+			var next []sparql.Binding
+			for _, x := range rows {
+				for _, y := range sub {
+					if x.Compatible(y) {
+						next = append(next, x.Merge(y))
+					}
+				}
+			}
+			rows = next
+		}
+		return rows, nil
+	case sparql.Filter:
+		rows, err := e.evalPattern(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		var kept []sparql.Binding
+		for _, b := range rows {
+			if n.Cond.EvalFilter(b) {
+				kept = append(kept, b)
+			}
+		}
+		return kept, nil
+	case sparql.Optional:
+		left, err := e.evalPattern(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalPattern(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		var out []sparql.Binding
+		for _, l := range left {
+			matched := false
+			for _, r := range right {
+				if l.Compatible(r) {
+					out = append(out, l.Merge(r))
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, l.Clone())
+			}
+		}
+		return out, nil
+	case sparql.Union:
+		left, err := e.evalPattern(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalPattern(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	default:
+		return nil, fmt.Errorf("haqwa: unsupported pattern %T", p)
+	}
+}
+
+// evalBGP decomposes the BGP into subject star groups. A pure star (one
+// group) evaluates locally on every partition — zero shuffle, HAQWA's
+// headline property. A linked query whose links are covered by the
+// allocation also evaluates locally against the replicated fragments,
+// anchored at the seed subject to avoid duplicates. Anything else
+// evaluates each star locally and joins the stars with distributed
+// (shuffling) RDD joins.
+func (e *Engine) evalBGP(bgp sparql.BGP) ([]sparql.Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	groups := groupBySubject(bgp.Patterns)
+	if len(groups) == 1 {
+		return e.evalLocal(sparql.BGP{Patterns: bgp.Patterns}, true, seedOf(groups[0])), nil
+	}
+	if seed, ok := e.coveredSeed(groups); ok {
+		return e.evalLocal(bgp, false, seed), nil
+	}
+	// Distributed fallback: per-star local evaluation + shuffled joins.
+	var cur *spark.RDD[sparql.Binding]
+	var curVars map[sparql.Var]bool
+	for _, g := range groups {
+		local := e.evalLocal(sparql.BGP{Patterns: g}, true, seedOf(g))
+		next := spark.Parallelize(e.ctx, local)
+		if cur == nil {
+			cur = next
+			curVars = varsOfPatterns(g)
+			continue
+		}
+		gv := varsOfPatterns(g)
+		var shared []sparql.Var
+		for v := range gv {
+			if curVars[v] {
+				shared = append(shared, v)
+			}
+		}
+		sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+		if len(shared) == 0 {
+			prod := spark.Cartesian(cur, next)
+			cur = spark.FlatMap(prod, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) []sparql.Binding {
+				if !t.A.Compatible(t.B) {
+					return nil
+				}
+				return []sparql.Binding{t.A.Merge(t.B)}
+			})
+		} else {
+			ka := spark.KeyBy(cur, func(b sparql.Binding) string { return bindingKey(b, shared) })
+			kb := spark.KeyBy(next, func(b sparql.Binding) string { return bindingKey(b, shared) })
+			joined := spark.Join(ka, kb)
+			cur = spark.FlatMap(joined, func(p spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]) []sparql.Binding {
+				if !p.Value.A.Compatible(p.Value.B) {
+					return nil
+				}
+				return []sparql.Binding{p.Value.A.Merge(p.Value.B)}
+			})
+		}
+		for v := range gv {
+			curVars[v] = true
+		}
+	}
+	return cur.Collect(), nil
+}
+
+// evalLocal evaluates a BGP independently on every partition (one task
+// per partition, no shuffle). With nativeOnly the native fragment is
+// used (stars are complete there); otherwise the replicated fragment is
+// used and results are anchored: a solution counts only on the
+// partition that natively owns its seed subject.
+func (e *Engine) evalLocal(bgp sparql.BGP, nativeOnly bool, seed sparql.TPElem) []sparql.Binding {
+	idx := make([]int, e.numParts)
+	for i := range idx {
+		idx[i] = i
+	}
+	idxRDD := spark.ParallelizeN(e.ctx, idx, e.numParts)
+	q := &sparql.Query{Form: sparql.FormSelect, Where: bgp, Limit: -1}
+	res := spark.MapPartitions(idxRDD, func(part []int) []sparql.Binding {
+		if len(part) == 0 {
+			return nil
+		}
+		i := part[0]
+		g := e.full[i]
+		if nativeOnly {
+			g = e.native[i]
+		}
+		r, err := sparql.Evaluate(q, g)
+		if err != nil {
+			return nil
+		}
+		var out []sparql.Binding
+		for _, b := range r.Rows {
+			if !nativeOnly {
+				// Anchor at the seed subject's home partition.
+				var s rdf.Term
+				if seed.IsVar {
+					s = b[seed.Var]
+				} else {
+					s = seed.Term
+				}
+				if e.subjectPartition(s) != i {
+					continue
+				}
+			}
+			out = append(out, b)
+		}
+		return out
+	})
+	return res.Collect()
+}
+
+// coveredSeed reports whether the star groups form a 1-hop tree from a
+// seed group over links the allocation covers, returning the seed
+// subject.
+func (e *Engine) coveredSeed(groups [][]sparql.TriplePattern) (sparql.TPElem, bool) {
+	for _, seedGroup := range groups {
+		allLinked := true
+		for _, other := range groups {
+			if sameGroup(seedGroup, other) {
+				continue
+			}
+			linked := false
+			for _, tp := range seedGroup {
+				if tp.P.IsVar || !tp.O.IsVar {
+					continue
+				}
+				if other[0].S.IsVar && other[0].S.Var == tp.O.Var && e.coveredLinks[tp.P.Term.Value] {
+					linked = true
+					break
+				}
+			}
+			if !linked {
+				allLinked = false
+				break
+			}
+		}
+		if allLinked {
+			return seedGroup[0].S, true
+		}
+	}
+	return sparql.TPElem{}, false
+}
+
+// groupBySubject partitions triple patterns into star groups sharing a
+// subject element, preserving first-occurrence order.
+func groupBySubject(tps []sparql.TriplePattern) [][]sparql.TriplePattern {
+	keyOf := func(el sparql.TPElem) string {
+		if el.IsVar {
+			return "?" + string(el.Var)
+		}
+		return el.Term.String()
+	}
+	byKey := map[string][]sparql.TriplePattern{}
+	var order []string
+	for _, tp := range tps {
+		k := keyOf(tp.S)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], tp)
+	}
+	out := make([][]sparql.TriplePattern, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+func sameGroup(a, b []sparql.TriplePattern) bool {
+	return len(a) > 0 && len(b) > 0 && a[0] == b[0] && len(a) == len(b)
+}
+
+func seedOf(g []sparql.TriplePattern) sparql.TPElem { return g[0].S }
+
+func varsOfPatterns(tps []sparql.TriplePattern) map[sparql.Var]bool {
+	out := map[sparql.Var]bool{}
+	for _, tp := range tps {
+		for _, v := range tp.Vars() {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func bindingKey(b sparql.Binding, vars []sparql.Var) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := b[v]; ok {
+			parts[i] = t.String()
+		}
+	}
+	return strings.Join(parts, "\x00")
+}

@@ -1,0 +1,476 @@
+// Package hybrid reproduces the SPARQL graph-pattern processing study
+// of Naacke, Amann and Curé (GRADES@SIGMOD 2017, survey ref [21]):
+// five ways of evaluating BGPs on Spark, distilled here into four
+// selectable strategies over subject-hash-partitioned data:
+//
+//   - StrategySparkSQL: the naive Spark SQL translation, which uses
+//     broadcast joins but degenerates to Cartesian products when a
+//     query has more than one triple pattern — the significant
+//     drawback the paper calls out;
+//   - StrategyRDD: each join becomes a partitioned (shuffle) join in
+//     the input pattern order, and every triple pattern re-reads the
+//     whole dataset;
+//   - StrategyDataFrame: cost-based broadcast-vs-partitioned selection
+//     on size alone, ignoring existing data partitioning;
+//   - StrategyHybrid: the paper's contribution — a greedy optimizer
+//     that combines broadcast joins with partitioned joins and
+//     exploits the subject-hash partitioning, so subject-subject
+//     (star) joins run co-partitioned with no shuffle.
+//
+// Supported fragment (Table II): BGP.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/spark"
+	"repro/internal/sparql"
+)
+
+// Strategy selects the join planning mode.
+type Strategy int
+
+// Strategies of the study.
+const (
+	StrategyHybrid Strategy = iota
+	StrategyRDD
+	StrategyDataFrame
+	StrategySparkSQL
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRDD:
+		return "rdd-partitioned"
+	case StrategyDataFrame:
+		return "dataframe-broadcast"
+	case StrategySparkSQL:
+		return "sparksql-cartesian"
+	default:
+		return "hybrid"
+	}
+}
+
+// Engine is the hybrid-study system.
+type Engine struct {
+	ctx *spark.Context
+	// Mode selects the join strategy; the zero value is the hybrid
+	// planner.
+	Mode Strategy
+	// data is keyed and hash-partitioned by subject rendering.
+	data  *spark.RDD[spark.Pair[string, rdf.Triple]]
+	stats rdf.Stats
+}
+
+// New creates an unloaded engine on ctx (hybrid mode).
+func New(ctx *spark.Context) *Engine { return &Engine{ctx: ctx} }
+
+// NewWithStrategy creates an engine pinned to one strategy, for the
+// join-strategy ablation.
+func NewWithStrategy(ctx *spark.Context, s Strategy) *Engine {
+	return &Engine{ctx: ctx, Mode: s}
+}
+
+// Info implements core.Engine.
+func (e *Engine) Info() core.SystemInfo {
+	return core.SystemInfo{
+		Name:            "Hybrid",
+		Citation:        "[21]",
+		Model:           core.TripleModel,
+		Abstractions:    []core.Abstraction{core.RDDAbstraction, core.DataFramesAbstraction},
+		QueryProcessing: "Hybrid",
+		Optimized:       true,
+		Partitioning:    "Hash-sbj",
+		SPARQL:          core.FragmentBGP,
+	}
+}
+
+// Context implements core.Engine.
+func (e *Engine) Context() *spark.Context { return e.ctx }
+
+// Load hash-partitions the dataset on the subject value.
+func (e *Engine) Load(triples []rdf.Triple) error {
+	triples = rdf.Dedupe(triples)
+	keyed := spark.KeyBy(spark.Parallelize(e.ctx, triples), func(t rdf.Triple) string { return t.S.String() })
+	e.data = spark.PartitionBy(keyed, spark.NewHashPartitioner[string](e.ctx.DefaultParallelism()))
+	e.stats = rdf.ComputeStats(triples)
+	return nil
+}
+
+// Execute implements core.Engine. Only BGP queries are supported,
+// matching the study's scope.
+func (e *Engine) Execute(q *sparql.Query) (*sparql.Results, error) {
+	if q.Form == sparql.FormDescribe {
+		return nil, fmt.Errorf("hybrid: DESCRIBE is not supported (use the reference evaluator)")
+	}
+	if e.data == nil {
+		return nil, fmt.Errorf("hybrid: no dataset loaded")
+	}
+	bgp, ok := q.BGPOf()
+	if !ok {
+		return nil, fmt.Errorf("hybrid: only BGP queries are supported (fragment per Table II)")
+	}
+	var rows []sparql.Binding
+	var err error
+	switch e.Mode {
+	case StrategySparkSQL:
+		rows, err = e.evalCartesian(bgp)
+	case StrategyRDD:
+		rows, err = e.evalPartitionedOrder(bgp)
+	case StrategyDataFrame:
+		rows, err = e.evalSizeBased(bgp)
+	default:
+		rows, err = e.evalHybrid(bgp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ApplySolutionModifiers(q, rows), nil
+}
+
+// scan matches one triple pattern over the partitioned dataset. The
+// result stays keyed (and partitioned) by subject, so subject-subject
+// joins can run without a shuffle. Every scan reads the full dataset
+// (there is no predicate index in this system).
+func (e *Engine) scan(tp sparql.TriplePattern) *spark.RDD[spark.Pair[string, sparql.Binding]] {
+	e.ctx.AddRead(e.stats.Triples)
+	return spark.MapValues(e.data.Filter(func(p spark.Pair[string, rdf.Triple]) bool {
+		return matches(tp, p.Value)
+	}), func(t rdf.Triple) sparql.Binding {
+		return bind(tp, t)
+	})
+}
+
+func matches(tp sparql.TriplePattern, t rdf.Triple) bool {
+	if !tp.S.IsVar && tp.S.Term != t.S {
+		return false
+	}
+	if !tp.P.IsVar && tp.P.Term != t.P {
+		return false
+	}
+	if !tp.O.IsVar && tp.O.Term != t.O {
+		return false
+	}
+	// Repeated-variable consistency within the pattern.
+	if tp.S.IsVar && tp.O.IsVar && tp.S.Var == tp.O.Var && t.S != t.O {
+		return false
+	}
+	if tp.S.IsVar && tp.P.IsVar && tp.S.Var == tp.P.Var && t.S != t.P {
+		return false
+	}
+	if tp.P.IsVar && tp.O.IsVar && tp.P.Var == tp.O.Var && t.P != t.O {
+		return false
+	}
+	return true
+}
+
+func bind(tp sparql.TriplePattern, t rdf.Triple) sparql.Binding {
+	b := sparql.Binding{}
+	if tp.S.IsVar {
+		b[tp.S.Var] = t.S
+	}
+	if tp.P.IsVar {
+		b[tp.P.Var] = t.P
+	}
+	if tp.O.IsVar {
+		b[tp.O.Var] = t.O
+	}
+	return b
+}
+
+// estimate returns the expected match count of a pattern from the
+// per-predicate statistics.
+func (e *Engine) estimate(tp sparql.TriplePattern) int {
+	var card int
+	if !tp.P.IsVar {
+		card = e.stats.PredicateCounts[tp.P.Term.Value]
+	} else {
+		card = e.stats.Triples
+	}
+	if !tp.S.IsVar && e.stats.DistinctSubjects > 0 {
+		card = card/e.stats.DistinctSubjects + 1
+	}
+	if !tp.O.IsVar && e.stats.DistinctObjects > 0 {
+		card = card/e.stats.DistinctObjects + 1
+	}
+	return card
+}
+
+// --- strategy: Spark SQL (cartesian products) ---
+
+// evalCartesian reproduces the naive Spark SQL behaviour the study
+// criticizes: multi-pattern queries combine via Cartesian products and
+// filter afterwards.
+func (e *Engine) evalCartesian(bgp sparql.BGP) ([]sparql.Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	cur := spark.Values(e.scan(bgp.Patterns[0]))
+	for _, tp := range bgp.Patterns[1:] {
+		next := spark.Values(e.scan(tp))
+		prod := spark.Cartesian(cur, next)
+		cur = spark.FlatMap(prod, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) []sparql.Binding {
+			if !t.A.Compatible(t.B) {
+				return nil
+			}
+			return []sparql.Binding{t.A.Merge(t.B)}
+		})
+	}
+	return cur.Collect(), nil
+}
+
+// --- strategy: RDD partitioned joins in input order ---
+
+func (e *Engine) evalPartitionedOrder(bgp sparql.BGP) ([]sparql.Binding, error) {
+	return e.evalSequence(bgp.Patterns, func(left, right *spark.RDD[sparql.Binding], shared []sparql.Var, _, _ int) *spark.RDD[sparql.Binding] {
+		return joinPartitioned(left, right, shared)
+	})
+}
+
+// --- strategy: DataFrame size-based broadcast ---
+
+func (e *Engine) evalSizeBased(bgp sparql.BGP) ([]sparql.Binding, error) {
+	threshold := e.ctx.Conf().BroadcastThreshold
+	return e.evalSequence(bgp.Patterns, func(left, right *spark.RDD[sparql.Binding], shared []sparql.Var, leftEst, rightEst int) *spark.RDD[sparql.Binding] {
+		if rightEst < threshold || leftEst < threshold {
+			return joinBroadcast(left, right, shared, leftEst, rightEst)
+		}
+		return joinPartitioned(left, right, shared)
+	})
+}
+
+// evalSequence folds patterns in input order with the provided join.
+func (e *Engine) evalSequence(tps []sparql.TriplePattern, join func(l, r *spark.RDD[sparql.Binding], shared []sparql.Var, le, re int) *spark.RDD[sparql.Binding]) ([]sparql.Binding, error) {
+	if len(tps) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	cur := spark.Values(e.scan(tps[0]))
+	curVars := varSet(tps[0].Vars())
+	curEst := e.estimate(tps[0])
+	for _, tp := range tps[1:] {
+		next := spark.Values(e.scan(tp))
+		shared := sharedVars(curVars, tp.Vars())
+		cur = join(cur, next, shared, curEst, e.estimate(tp))
+		for _, v := range tp.Vars() {
+			curVars[v] = true
+		}
+		if est := e.estimate(tp); est < curEst {
+			curEst = est
+		}
+	}
+	return cur.Collect(), nil
+}
+
+// --- strategy: hybrid greedy planner ---
+
+// evalHybrid implements the study's dynamic greedy optimization: group
+// patterns into subject stars first (their joins are co-partitioned,
+// costing nothing), order groups by estimated cardinality, and pick
+// broadcast vs partitioned per cross-group join based on statistics.
+func (e *Engine) evalHybrid(bgp sparql.BGP) ([]sparql.Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	groups := groupBySubject(bgp.Patterns)
+	type evaluatedGroup struct {
+		rdd  *spark.RDD[sparql.Binding]
+		vars map[sparql.Var]bool
+		est  int
+	}
+	evaluated := make([]evaluatedGroup, len(groups))
+	for i, g := range groups {
+		// Within a star group, all joins share the subject key: keep the
+		// subject-keyed pair RDDs and join co-partitioned (no shuffle).
+		cur := e.scan(g[0])
+		est := e.estimate(g[0])
+		for _, tp := range g[1:] {
+			next := e.scan(tp)
+			joined := spark.Join(cur, next)
+			cur = spark.FlatMap(joined, func(p spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]) []spark.Pair[string, sparql.Binding] {
+				if !p.Value.A.Compatible(p.Value.B) {
+					return nil
+				}
+				return []spark.Pair[string, sparql.Binding]{{Key: p.Key, Value: p.Value.A.Merge(p.Value.B)}}
+			})
+			if te := e.estimate(tp); te < est {
+				est = te
+			}
+		}
+		evaluated[i] = evaluatedGroup{rdd: spark.Values(cur), vars: varSet(varsOfGroup(g)), est: est}
+	}
+	// Greedy: start from the smallest group; repeatedly join the
+	// smallest connected group, broadcast when cheap.
+	sort.SliceStable(evaluated, func(i, j int) bool { return evaluated[i].est < evaluated[j].est })
+	cur := evaluated[0]
+	rest := evaluated[1:]
+	threshold := e.ctx.Conf().BroadcastThreshold
+	for len(rest) > 0 {
+		pick := -1
+		for i, cand := range rest {
+			if len(sharedVarsMap(cur.vars, cand.vars)) == 0 {
+				continue
+			}
+			if pick < 0 || cand.est < rest[pick].est {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		next := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		shared := sharedVarsMap(cur.vars, next.vars)
+		var joined *spark.RDD[sparql.Binding]
+		switch {
+		case len(shared) == 0:
+			prod := spark.Cartesian(cur.rdd, next.rdd)
+			joined = spark.FlatMap(prod, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) []sparql.Binding {
+				if !t.A.Compatible(t.B) {
+					return nil
+				}
+				return []sparql.Binding{t.A.Merge(t.B)}
+			})
+		case next.est < threshold || cur.est < threshold:
+			joined = joinBroadcast(cur.rdd, next.rdd, shared, cur.est, next.est)
+		default:
+			joined = joinPartitioned(cur.rdd, next.rdd, shared)
+		}
+		merged := map[sparql.Var]bool{}
+		for v := range cur.vars {
+			merged[v] = true
+		}
+		for v := range next.vars {
+			merged[v] = true
+		}
+		est := cur.est
+		if next.est < est {
+			est = next.est
+		}
+		cur = evaluatedGroup{rdd: joined, vars: merged, est: est}
+	}
+	return cur.rdd.Collect(), nil
+}
+
+// --- shared join helpers ---
+
+func joinPartitioned(left, right *spark.RDD[sparql.Binding], shared []sparql.Var) *spark.RDD[sparql.Binding] {
+	if len(shared) == 0 {
+		prod := spark.Cartesian(left, right)
+		return spark.FlatMap(prod, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) []sparql.Binding {
+			if !t.A.Compatible(t.B) {
+				return nil
+			}
+			return []sparql.Binding{t.A.Merge(t.B)}
+		})
+	}
+	ka := spark.KeyBy(left, func(b sparql.Binding) string { return bindingKey(b, shared) })
+	kb := spark.KeyBy(right, func(b sparql.Binding) string { return bindingKey(b, shared) })
+	joined := spark.Join(ka, kb)
+	return spark.FlatMap(joined, func(p spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]) []sparql.Binding {
+		if !p.Value.A.Compatible(p.Value.B) {
+			return nil
+		}
+		return []sparql.Binding{p.Value.A.Merge(p.Value.B)}
+	})
+}
+
+func joinBroadcast(left, right *spark.RDD[sparql.Binding], shared []sparql.Var, leftEst, rightEst int) *spark.RDD[sparql.Binding] {
+	ka := spark.KeyBy(left, func(b sparql.Binding) string { return bindingKey(b, shared) })
+	kb := spark.KeyBy(right, func(b sparql.Binding) string { return bindingKey(b, shared) })
+	var joined *spark.RDD[spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]]
+	if rightEst <= leftEst {
+		joined = spark.BroadcastJoin(ka, kb)
+	} else {
+		swapped := spark.BroadcastJoin(kb, ka)
+		joined = spark.MapValues(swapped, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) spark.Tuple2[sparql.Binding, sparql.Binding] {
+			return spark.Tuple2[sparql.Binding, sparql.Binding]{A: t.B, B: t.A}
+		})
+	}
+	return spark.FlatMap(joined, func(p spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]) []sparql.Binding {
+		if !p.Value.A.Compatible(p.Value.B) {
+			return nil
+		}
+		return []sparql.Binding{p.Value.A.Merge(p.Value.B)}
+	})
+}
+
+func groupBySubject(tps []sparql.TriplePattern) [][]sparql.TriplePattern {
+	keyOf := func(el sparql.TPElem) string {
+		if el.IsVar {
+			return "?" + string(el.Var)
+		}
+		return el.Term.String()
+	}
+	byKey := map[string][]sparql.TriplePattern{}
+	var order []string
+	for _, tp := range tps {
+		k := keyOf(tp.S)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], tp)
+	}
+	out := make([][]sparql.TriplePattern, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+func varsOfGroup(g []sparql.TriplePattern) []sparql.Var {
+	var out []sparql.Var
+	seen := map[sparql.Var]bool{}
+	for _, tp := range g {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func varSet(vs []sparql.Var) map[sparql.Var]bool {
+	out := map[sparql.Var]bool{}
+	for _, v := range vs {
+		out[v] = true
+	}
+	return out
+}
+
+func sharedVars(have map[sparql.Var]bool, vs []sparql.Var) []sparql.Var {
+	var out []sparql.Var
+	for _, v := range vs {
+		if have[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sharedVarsMap(a, b map[sparql.Var]bool) []sparql.Var {
+	var out []sparql.Var
+	for v := range a {
+		if b[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bindingKey(b sparql.Binding, vars []sparql.Var) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := b[v]; ok {
+			parts[i] = t.String()
+		}
+	}
+	return strings.Join(parts, "\x00")
+}

@@ -1,0 +1,504 @@
+// Package sparkql reproduces Spar(k)ql (Gombos, Rácz, Kiss, FiCloud
+// Workshops 2016, survey ref [12]): SPARQL evaluation on GraphX with a
+// property-graph node model. Object properties (IRI-valued predicates)
+// are the edges of the graph; data properties (literal-valued
+// predicates) are stored inside the nodes as node properties — and so
+// is rdf:type, despite being an object property, because of its
+// popularity in SPARQL queries.
+//
+// A query plan is a tree built breadth-first over the object-property
+// patterns. Execution traverses the plan bottom-up: every node first
+// solves its local data-property constraints against the stored node
+// properties, then child sub-result tables flow along the tree edges
+// (one message round per tree level) and merge at their parents, until
+// the root holds the answer.
+//
+// Supported fragment (Table II): BGP, with query optimization (the
+// BFS plan).
+package sparkql
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/spark"
+	"repro/internal/spark/graphx"
+	"repro/internal/sparql"
+)
+
+// nodeProps is the property map of a vertex: predicate IRI -> values.
+type nodeProps map[string][]rdf.Term
+
+// Engine is the Spar(k)ql system.
+type Engine struct {
+	ctx   *spark.Context
+	graph *graphx.Graph[rdf.Term, string]
+	props map[graphx.VertexID]nodeProps
+	ids   map[rdf.Term]graphx.VertexID
+	terms map[graphx.VertexID]rdf.Term
+}
+
+// New creates an unloaded engine on ctx.
+func New(ctx *spark.Context) *Engine { return &Engine{ctx: ctx} }
+
+// Info implements core.Engine.
+func (e *Engine) Info() core.SystemInfo {
+	return core.SystemInfo{
+		Name:            "Spar(k)ql",
+		Citation:        "[12]",
+		Model:           core.GraphModel,
+		Abstractions:    []core.Abstraction{core.GraphXAbstraction},
+		QueryProcessing: "Graph Iterations",
+		Optimized:       true,
+		Partitioning:    "Default",
+		SPARQL:          core.FragmentBGP,
+	}
+}
+
+// Context implements core.Engine.
+func (e *Engine) Context() *spark.Context { return e.ctx }
+
+// Load splits the dataset per the node model: literal-valued triples
+// and rdf:type become node properties; IRI-valued triples become
+// edges.
+func (e *Engine) Load(triples []rdf.Triple) error {
+	triples = rdf.Dedupe(triples)
+	e.ids = map[rdf.Term]graphx.VertexID{}
+	e.terms = map[graphx.VertexID]rdf.Term{}
+	e.props = map[graphx.VertexID]nodeProps{}
+	var vertices []graphx.Vertex[rdf.Term]
+	idOf := func(t rdf.Term) graphx.VertexID {
+		if id, ok := e.ids[t]; ok {
+			return id
+		}
+		id := graphx.VertexID(len(e.ids) + 1)
+		e.ids[t] = id
+		e.terms[id] = t
+		vertices = append(vertices, graphx.Vertex[rdf.Term]{ID: id, Attr: t})
+		return id
+	}
+	var edges []graphx.Edge[string]
+	for _, t := range triples {
+		sid := idOf(t.S)
+		if t.O.IsLiteral() || t.IsTypeTriple() {
+			if e.props[sid] == nil {
+				e.props[sid] = nodeProps{}
+			}
+			e.props[sid][t.P.Value] = append(e.props[sid][t.P.Value], t.O)
+			continue
+		}
+		edges = append(edges, graphx.Edge[string]{Src: sid, Dst: idOf(t.O), Attr: t.P.Value})
+	}
+	e.graph = graphx.New(e.ctx, vertices, edges)
+	return nil
+}
+
+// Execute implements core.Engine. Only BGP queries are supported.
+func (e *Engine) Execute(q *sparql.Query) (*sparql.Results, error) {
+	if q.Form == sparql.FormDescribe {
+		return nil, fmt.Errorf("sparkql: DESCRIBE is not supported (use the reference evaluator)")
+	}
+	if e.graph == nil {
+		return nil, fmt.Errorf("sparkql: no dataset loaded")
+	}
+	bgp, ok := q.BGPOf()
+	if !ok {
+		return nil, fmt.Errorf("sparkql: only BGP queries are supported (fragment per Table II)")
+	}
+	rows, err := e.evalBGP(bgp)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ApplySolutionModifiers(q, rows), nil
+}
+
+// nodeKey identifies a query node (a subject/object position): either
+// a variable or a constant term.
+type nodeKey string
+
+func keyOfElem(el sparql.TPElem) nodeKey {
+	if el.IsVar {
+		return nodeKey("?" + string(el.Var))
+	}
+	return nodeKey(el.Term.String())
+}
+
+func (e *Engine) evalBGP(bgp sparql.BGP) ([]sparql.Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	// Split patterns: node-local (data property / rdf:type / variable
+	// predicate handled as leftovers), edge patterns (object
+	// properties).
+	var edgeTPs, leftovers []sparql.TriplePattern
+	nodeTPs := map[nodeKey][]sparql.TriplePattern{}
+	for _, tp := range bgp.Patterns {
+		switch {
+		case tp.P.IsVar:
+			leftovers = append(leftovers, tp)
+		case e.isNodeProperty(tp):
+			k := keyOfElem(tp.S)
+			nodeTPs[k] = append(nodeTPs[k], tp)
+		default:
+			edgeTPs = append(edgeTPs, tp)
+		}
+	}
+
+	// Build the BFS query tree over the edge patterns.
+	tree, treeLeftovers := buildBFSTree(edgeTPs)
+	leftovers = append(leftovers, treeLeftovers...)
+
+	// Evaluate every tree component bottom-up, then join components and
+	// leftovers at the driver (Spark side).
+	rows := []sparql.Binding{{}}
+	usedNodes := map[nodeKey]bool{}
+	for _, root := range tree.roots {
+		table := e.evalSubtree(tree, root, nodeTPs, usedNodes)
+		rows = joinTables(rows, table)
+	}
+	// Node-only variables (no edges touch them).
+	for k, tps := range nodeTPs {
+		if usedNodes[k] {
+			continue
+		}
+		table := e.nodeTable(elemOfKey(k, tps), tps)
+		usedNodes[k] = true
+		rows = joinTables(rows, flatten(table))
+	}
+	for _, tp := range leftovers {
+		rows = joinTables(rows, e.matchAnywhere(tp))
+	}
+	return rows, nil
+}
+
+// isNodeProperty reports whether a constant-predicate pattern should
+// be answered from node properties: rdf:type always; otherwise when
+// the predicate occurs only as a data property (never as an edge).
+func (e *Engine) isNodeProperty(tp sparql.TriplePattern) bool {
+	if tp.P.Term.Value == rdf.RDFType {
+		return true
+	}
+	if !tp.O.IsVar && !tp.O.Term.IsLiteral() {
+		return false
+	}
+	// A predicate stored as node property for at least one node and
+	// never as an edge is a data property.
+	isProp := false
+	for _, ps := range e.props {
+		if len(ps[tp.P.Term.Value]) > 0 {
+			isProp = true
+			break
+		}
+	}
+	if !isProp {
+		return false
+	}
+	for _, ed := range e.graph.Edges().Collect() {
+		if ed.Attr == tp.P.Term.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// queryTree is the BFS plan: parent -> children over edge patterns.
+type queryTree struct {
+	roots    []nodeKey
+	children map[nodeKey][]treeLink
+}
+
+// treeLink connects a parent query node to a child via one pattern.
+type treeLink struct {
+	child nodeKey
+	tp    sparql.TriplePattern
+	// down is true when the pattern points parent -> child
+	// (parent is the subject).
+	down bool
+}
+
+// buildBFSTree builds a forest over the edge patterns; patterns that
+// would close a cycle are returned as leftovers to be joined at the
+// driver.
+func buildBFSTree(tps []sparql.TriplePattern) (*queryTree, []sparql.TriplePattern) {
+	tree := &queryTree{children: map[nodeKey][]treeLink{}}
+	if len(tps) == 0 {
+		return tree, nil
+	}
+	var leftovers []sparql.TriplePattern
+	visited := map[nodeKey]bool{}
+	usedTP := make([]bool, len(tps))
+	for {
+		// Pick the first unused pattern as a new root.
+		rootIdx := -1
+		for i := range tps {
+			if !usedTP[i] {
+				rootIdx = i
+				break
+			}
+		}
+		if rootIdx < 0 {
+			break
+		}
+		root := keyOfElem(tps[rootIdx].S)
+		if visited[root] {
+			// Subject already in the forest — the pattern closes a cycle.
+			usedTP[rootIdx] = true
+			leftovers = append(leftovers, tps[rootIdx])
+			continue
+		}
+		tree.roots = append(tree.roots, root)
+		visited[root] = true
+		queue := []nodeKey{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for i, tp := range tps {
+				if usedTP[i] {
+					continue
+				}
+				s, o := keyOfElem(tp.S), keyOfElem(tp.O)
+				var child nodeKey
+				var down bool
+				switch {
+				case s == cur && !visited[o]:
+					child, down = o, true
+				case o == cur && !visited[s]:
+					child, down = s, false
+				case (s == cur && visited[o]) || (o == cur && visited[s]):
+					// Cycle-closing pattern.
+					usedTP[i] = true
+					leftovers = append(leftovers, tp)
+					continue
+				default:
+					continue
+				}
+				usedTP[i] = true
+				visited[child] = true
+				tree.children[cur] = append(tree.children[cur], treeLink{child: child, tp: tp, down: down})
+				queue = append(queue, child)
+			}
+		}
+	}
+	return tree, leftovers
+}
+
+// nodeTable builds the local sub-result table of a query node: for
+// every graph vertex, the bindings satisfying all the node's
+// data-property constraints (plus the node variable itself).
+func (e *Engine) nodeTable(el sparql.TPElem, tps []sparql.TriplePattern) map[graphx.VertexID][]sparql.Binding {
+	out := map[graphx.VertexID][]sparql.Binding{}
+	consider := func(vid graphx.VertexID) {
+		base := sparql.Binding{}
+		if el.IsVar {
+			base[el.Var] = e.terms[vid]
+		}
+		rows := []sparql.Binding{base}
+		for _, tp := range tps {
+			var next []sparql.Binding
+			vals := e.props[vid][tp.P.Term.Value]
+			for _, row := range rows {
+				for _, val := range vals {
+					if tp.O.IsVar {
+						if cur, ok := row[tp.O.Var]; ok {
+							if cur == val {
+								next = append(next, row)
+							}
+							continue
+						}
+						nb := row.Clone()
+						nb[tp.O.Var] = val
+						next = append(next, nb)
+					} else if tp.O.Term == val {
+						next = append(next, row)
+					}
+				}
+			}
+			rows = next
+			if len(rows) == 0 {
+				return
+			}
+		}
+		out[vid] = rows
+	}
+	if !el.IsVar {
+		if vid, ok := e.ids[el.Term]; ok {
+			consider(vid)
+		}
+		return out
+	}
+	for vid := range e.terms {
+		consider(vid)
+	}
+	return out
+}
+
+// evalSubtree evaluates the plan bottom-up from root's subtree,
+// returning the joined table. Each tree level costs one message round
+// (superstep); child tables travel along matching edges.
+func (e *Engine) evalSubtree(tree *queryTree, node nodeKey, nodeTPs map[nodeKey][]sparql.TriplePattern, used map[nodeKey]bool) []sparql.Binding {
+	used[node] = true
+	el := elemOfKey(node, nodeTPs[node])
+	table := e.nodeTable(el, nodeTPs[node])
+	for _, link := range tree.children[node] {
+		childTable := e.evalSubtree(tree, link.child, nodeTPs, used)
+		// Index child rows by the child node's vertex.
+		childEl := elemOfKeyTP(link.child, link.tp, link.down)
+		byVertex := map[graphx.VertexID][]sparql.Binding{}
+		for _, row := range childTable {
+			var t rdf.Term
+			if childEl.IsVar {
+				t = row[childEl.Var]
+			} else {
+				t = childEl.Term
+			}
+			vid := e.ids[t]
+			byVertex[vid] = append(byVertex[vid], row)
+		}
+		// One aggregateMessages round: child rows flow along matching
+		// edges to the parent vertex.
+		pred := link.tp.P.Term.Value
+		msgs := graphx.AggregateMessages(e.graph,
+			func(c *graphx.EdgeContext[rdf.Term, string, []sparql.Binding]) {
+				if c.Triplet.Attr != pred {
+					return
+				}
+				if link.down {
+					// parent --pred--> child: child rows at Dst flow to Src.
+					if rows := byVertex[c.Triplet.Dst]; len(rows) > 0 {
+						c.SendToSrc(rows)
+					}
+				} else {
+					if rows := byVertex[c.Triplet.Src]; len(rows) > 0 {
+						c.SendToDst(rows)
+					}
+				}
+			},
+			func(a, b []sparql.Binding) []sparql.Binding { return append(a, b...) })
+		e.ctx.AddSupersteps(1)
+		// Merge arriving child rows into the parent's table per vertex.
+		next := map[graphx.VertexID][]sparql.Binding{}
+		for vid, parentRows := range table {
+			arrivals := msgs[vid]
+			if len(arrivals) == 0 {
+				continue
+			}
+			parentEl := el
+			for _, pr := range parentRows {
+				for _, cr := range arrivals {
+					// The parent end of the edge must equal this vertex.
+					merged, ok := mergeAtVertex(pr, cr, parentEl, vid, e.terms)
+					if ok {
+						next[vid] = append(next[vid], merged)
+					}
+				}
+			}
+		}
+		table = next
+	}
+	return flatten(table)
+}
+
+// mergeAtVertex merges a parent row with a child row when compatible.
+func mergeAtVertex(parent, child sparql.Binding, parentEl sparql.TPElem, vid graphx.VertexID, terms map[graphx.VertexID]rdf.Term) (sparql.Binding, bool) {
+	if parentEl.IsVar {
+		if t, ok := parent[parentEl.Var]; !ok || t != terms[vid] {
+			return nil, false
+		}
+	}
+	if !parent.Compatible(child) {
+		return nil, false
+	}
+	return parent.Merge(child), true
+}
+
+// matchAnywhere evaluates a leftover pattern against both edges and
+// node properties (variable predicates span both stores).
+func (e *Engine) matchAnywhere(tp sparql.TriplePattern) []sparql.Binding {
+	var out []sparql.Binding
+	emit := func(s, p, o rdf.Term) {
+		b := sparql.Binding{}
+		if tp.S.IsVar {
+			b[tp.S.Var] = s
+		} else if tp.S.Term != s {
+			return
+		}
+		if tp.P.IsVar {
+			if cur, ok := b[tp.P.Var]; ok && cur != p {
+				return
+			}
+			b[tp.P.Var] = p
+		} else if tp.P.Term != p {
+			return
+		}
+		if tp.O.IsVar {
+			if cur, ok := b[tp.O.Var]; ok && cur != o {
+				return
+			}
+			b[tp.O.Var] = o
+		} else if tp.O.Term != o {
+			return
+		}
+		out = append(out, b)
+	}
+	for _, ed := range e.graph.Edges().Collect() {
+		emit(e.terms[ed.Src], rdf.NewIRI(ed.Attr), e.terms[ed.Dst])
+	}
+	for vid, ps := range e.props {
+		for p, vals := range ps {
+			for _, val := range vals {
+				emit(e.terms[vid], rdf.NewIRI(p), val)
+			}
+		}
+	}
+	return out
+}
+
+func elemOfKey(k nodeKey, tps []sparql.TriplePattern) sparql.TPElem {
+	if len(tps) > 0 {
+		return tps[0].S
+	}
+	return elemFromKeyString(k)
+}
+
+func elemOfKeyTP(k nodeKey, tp sparql.TriplePattern, down bool) sparql.TPElem {
+	if down {
+		return tp.O
+	}
+	return tp.S
+}
+
+// elemFromKeyString reverses keyOfElem for variables; constants are
+// reparsed from their N-Triples rendering.
+func elemFromKeyString(k nodeKey) sparql.TPElem {
+	s := string(k)
+	if len(s) > 0 && s[0] == '?' {
+		return sparql.VarElem(sparql.Var(s[1:]))
+	}
+	// Constant: parse the rendered term via a dummy triple line.
+	t, err := rdf.ParseTripleLine("<http://x/s> <http://x/p> " + s + " .")
+	if err != nil {
+		return sparql.TPElem{}
+	}
+	return sparql.TermElem(t.O)
+}
+
+func flatten(m map[graphx.VertexID][]sparql.Binding) []sparql.Binding {
+	var out []sparql.Binding
+	for _, rows := range m {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+func joinTables(a, b []sparql.Binding) []sparql.Binding {
+	var out []sparql.Binding
+	for _, x := range a {
+		for _, y := range b {
+			if x.Compatible(y) {
+				out = append(out, x.Merge(y))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+// Package sparkrdf reproduces SparkRDF (Chen et al., WI-IAT 2015,
+// survey ref [5]): an elastic discreted RDF graph processing engine
+// built directly on Spark RDDs (no graph API). Its storage model is
+// the Multi-layer Elastic Sub-Graph (MESG), three index levels:
+//
+//	level 1: a class index (rdf:type triples, filed by object class)
+//	         and a relation index (other triples, filed by predicate);
+//	level 2: CR (class-relation) and RC (relation-class) indexes that
+//	         split each predicate file by the subject's class or the
+//	         object's class;
+//	level 3: CRC (class-relation-class) combining all three.
+//
+// Queries load only the smallest applicable sub-graph of each triple
+// pattern into the distributed memory model (RDSG) and join variables
+// in selectivity order. The class of a variable (from its rdf:type
+// patterns) is pushed into the other patterns' index lookups, so
+// rdf:type patterns with constant classes are removed from the join
+// entirely — the paper's class-message pruning. Before each
+// distributed join, the candidate sub-graphs are pre-partitioned
+// on-demand by the join variable so matching records co-locate.
+//
+// Supported fragment (Table II): BGP.
+package sparkrdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/spark"
+	"repro/internal/sparql"
+)
+
+// IndexLevel selects how deep the MESG index is consulted, for the
+// index ablation (level 3 = CRC, the full design).
+type IndexLevel int
+
+// MESG index levels.
+const (
+	Level1 IndexLevel = 1 // class + relation indexes only
+	Level2 IndexLevel = 2 // + CR and RC
+	Level3 IndexLevel = 3 // + CRC
+)
+
+// Engine is the SparkRDF system.
+type Engine struct {
+	ctx *spark.Context
+	// Level caps the MESG depth (default Level3).
+	Level IndexLevel
+
+	relation   map[string][]rdf.Triple            // predicate -> triples (level 1)
+	class      map[string][]rdf.Triple            // class IRI -> type triples (level 1)
+	cr         map[string]map[string][]rdf.Triple // subjClass -> predicate -> triples (level 2)
+	rc         map[string]map[string][]rdf.Triple // predicate -> objClass -> triples (level 2)
+	crc        map[string][]rdf.Triple            // subjClass|pred|objClass -> triples (level 3)
+	classesOf  map[rdf.Term][]string              // entity -> classes
+	allTriples []rdf.Triple
+
+	// ScannedTriples accumulates the candidate-set sizes read by
+	// queries — the I/O the MESG index is designed to prune.
+	ScannedTriples int64
+}
+
+// New creates an unloaded engine on ctx with the full index.
+func New(ctx *spark.Context) *Engine { return &Engine{ctx: ctx, Level: Level3} }
+
+// NewWithLevel creates an engine with a capped index depth.
+func NewWithLevel(ctx *spark.Context, level IndexLevel) *Engine {
+	return &Engine{ctx: ctx, Level: level}
+}
+
+// Info implements core.Engine.
+func (e *Engine) Info() core.SystemInfo {
+	return core.SystemInfo{
+		Name:            "SparkRDF",
+		Citation:        "[5]",
+		Model:           core.GraphModel,
+		Abstractions:    []core.Abstraction{core.RDDAbstraction},
+		QueryProcessing: "Custom",
+		Optimized:       true,
+		Partitioning:    "Hash-sbj",
+		SPARQL:          core.FragmentBGP,
+	}
+}
+
+// Context implements core.Engine.
+func (e *Engine) Context() *spark.Context { return e.ctx }
+
+// Load builds the MESG indexes.
+func (e *Engine) Load(triples []rdf.Triple) error {
+	triples = rdf.Dedupe(triples)
+	e.relation = map[string][]rdf.Triple{}
+	e.class = map[string][]rdf.Triple{}
+	e.cr = map[string]map[string][]rdf.Triple{}
+	e.rc = map[string]map[string][]rdf.Triple{}
+	e.crc = map[string][]rdf.Triple{}
+	e.classesOf = map[rdf.Term][]string{}
+	e.allTriples = triples
+	e.ScannedTriples = 0
+
+	for _, t := range triples {
+		if t.IsTypeTriple() {
+			e.class[t.O.Value] = append(e.class[t.O.Value], t)
+			e.classesOf[t.S] = append(e.classesOf[t.S], t.O.Value)
+		}
+	}
+	for _, t := range triples {
+		if t.IsTypeTriple() {
+			continue
+		}
+		e.relation[t.P.Value] = append(e.relation[t.P.Value], t)
+		for _, sc := range e.classesOf[t.S] {
+			if e.cr[sc] == nil {
+				e.cr[sc] = map[string][]rdf.Triple{}
+			}
+			e.cr[sc][t.P.Value] = append(e.cr[sc][t.P.Value], t)
+			for _, oc := range e.classesOf[t.O] {
+				key := sc + "|" + t.P.Value + "|" + oc
+				e.crc[key] = append(e.crc[key], t)
+			}
+		}
+		for _, oc := range e.classesOf[t.O] {
+			if e.rc[t.P.Value] == nil {
+				e.rc[t.P.Value] = map[string][]rdf.Triple{}
+			}
+			e.rc[t.P.Value][oc] = append(e.rc[t.P.Value][oc], t)
+		}
+	}
+	return nil
+}
+
+// Execute implements core.Engine. Only BGP queries are supported.
+func (e *Engine) Execute(q *sparql.Query) (*sparql.Results, error) {
+	if q.Form == sparql.FormDescribe {
+		return nil, fmt.Errorf("sparkrdf: DESCRIBE is not supported (use the reference evaluator)")
+	}
+	if e.allTriples == nil {
+		return nil, fmt.Errorf("sparkrdf: no dataset loaded")
+	}
+	bgp, ok := q.BGPOf()
+	if !ok {
+		return nil, fmt.Errorf("sparkrdf: only BGP queries are supported (fragment per Table II)")
+	}
+	rows, err := e.evalBGP(bgp)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ApplySolutionModifiers(q, rows), nil
+}
+
+func (e *Engine) evalBGP(bgp sparql.BGP) ([]sparql.Binding, error) {
+	if len(bgp.Patterns) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	// Class-message pruning: collect class constraints from rdf:type
+	// patterns with variable subject and constant class; those
+	// patterns leave the join set when the variable occurs elsewhere.
+	classOfVar := map[sparql.Var][]string{}
+	var joinTPs []sparql.TriplePattern
+	var typeTPs []sparql.TriplePattern
+	for _, tp := range bgp.Patterns {
+		if !tp.P.IsVar && tp.P.Term.Value == rdf.RDFType && tp.S.IsVar && !tp.O.IsVar {
+			typeTPs = append(typeTPs, tp)
+			continue
+		}
+		joinTPs = append(joinTPs, tp)
+	}
+	occursElsewhere := func(v sparql.Var) bool {
+		for _, tp := range joinTPs {
+			for _, tv := range tp.Vars() {
+				if tv == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, tp := range typeTPs {
+		if occursElsewhere(tp.S.Var) && e.Level >= Level2 {
+			classOfVar[tp.S.Var] = append(classOfVar[tp.S.Var], tp.O.Term.Value)
+			continue
+		}
+		// Keep as a join pattern over the class index.
+		joinTPs = append(joinTPs, tp)
+	}
+
+	// RDSG generation: load the candidate sub-graph of each pattern
+	// from the deepest applicable index.
+	type candSet struct {
+		tp  sparql.TriplePattern
+		rdd *spark.RDD[sparql.Binding]
+		n   int
+	}
+	sets := make([]candSet, len(joinTPs))
+	for i, tp := range joinTPs {
+		triples := e.candidates(tp, classOfVar)
+		e.ScannedTriples += int64(len(triples))
+		e.ctx.AddRead(len(triples))
+		var bindings []sparql.Binding
+		for _, t := range triples {
+			if b, ok := bindTriple(tp, t); ok {
+				bindings = append(bindings, b)
+			}
+		}
+		sets[i] = candSet{tp: tp, rdd: spark.Parallelize(e.ctx, bindings), n: len(bindings)}
+	}
+
+	// Optimal query plan: join variables in ascending candidate size,
+	// staying connected.
+	sort.SliceStable(sets, func(i, j int) bool { return sets[i].n < sets[j].n })
+	cur := sets[0].rdd
+	curVars := varSet(sets[0].tp.Vars())
+	remaining := sets[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		for i, s := range remaining {
+			if len(sharedVars(curVars, s.tp.Vars())) == 0 {
+				continue
+			}
+			if pick < 0 || s.n < remaining[pick].n {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		shared := sharedVars(curVars, next.tp.Vars())
+		if len(shared) == 0 {
+			prod := spark.Cartesian(cur, next.rdd)
+			cur = spark.FlatMap(prod, func(t spark.Tuple2[sparql.Binding, sparql.Binding]) []sparql.Binding {
+				if !t.A.Compatible(t.B) {
+					return nil
+				}
+				return []sparql.Binding{t.A.Merge(t.B)}
+			})
+		} else {
+			// On-demand dynamic pre-partitioning: both sides are placed
+			// by the join variable before the local join.
+			ka := spark.PartitionBy(
+				spark.KeyBy(cur, func(b sparql.Binding) string { return bindingKey(b, shared) }),
+				spark.NewHashPartitioner[string](e.ctx.DefaultParallelism()))
+			kb := spark.PartitionBy(
+				spark.KeyBy(next.rdd, func(b sparql.Binding) string { return bindingKey(b, shared) }),
+				spark.NewHashPartitioner[string](e.ctx.DefaultParallelism()))
+			joined := spark.Join(ka, kb)
+			cur = spark.FlatMap(joined, func(p spark.Pair[string, spark.Tuple2[sparql.Binding, sparql.Binding]]) []sparql.Binding {
+				if !p.Value.A.Compatible(p.Value.B) {
+					return nil
+				}
+				return []sparql.Binding{p.Value.A.Merge(p.Value.B)}
+			})
+		}
+		for _, v := range next.tp.Vars() {
+			curVars[v] = true
+		}
+	}
+	rows := cur.Collect()
+
+	// Re-check class constraints for variables that only occur in
+	// removed type patterns... they were kept as join patterns, so the
+	// remaining obligation is variables constrained via classOfVar but
+	// whose candidate lookups could not use the class (variable in
+	// object position of a predicate the index has no class for).
+	var out []sparql.Binding
+	for _, b := range rows {
+		ok := true
+		for v, classes := range classOfVar {
+			t, bound := b[v]
+			if !bound {
+				ok = false
+				break
+			}
+			for _, c := range classes {
+				if !hasClass(e.classesOf[t], c) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// candidates selects the smallest index entry applicable to a pattern
+// under the engine's index level and the variables' class constraints.
+func (e *Engine) candidates(tp sparql.TriplePattern, classOfVar map[sparql.Var][]string) []rdf.Triple {
+	// Variable predicate: full scan.
+	if tp.P.IsVar {
+		return e.allTriples
+	}
+	pred := tp.P.Term.Value
+	if pred == rdf.RDFType {
+		if !tp.O.IsVar {
+			return e.class[tp.O.Term.Value]
+		}
+		// All type triples.
+		var all []rdf.Triple
+		for _, ts := range e.class {
+			all = append(all, ts...)
+		}
+		return all
+	}
+	var sClass, oClass string
+	if tp.S.IsVar {
+		if cs := classOfVar[tp.S.Var]; len(cs) > 0 {
+			sClass = cs[0]
+		}
+	}
+	if tp.O.IsVar {
+		if cs := classOfVar[tp.O.Var]; len(cs) > 0 {
+			oClass = cs[0]
+		}
+	}
+	if e.Level >= Level3 && sClass != "" && oClass != "" {
+		return e.crc[sClass+"|"+pred+"|"+oClass]
+	}
+	if e.Level >= Level2 {
+		if sClass != "" {
+			if m := e.cr[sClass]; m != nil {
+				return m[pred]
+			}
+			return nil
+		}
+		if oClass != "" {
+			if m := e.rc[pred]; m != nil {
+				return m[oClass]
+			}
+			return nil
+		}
+	}
+	return e.relation[pred]
+}
+
+// bindTriple matches one triple against a pattern.
+func bindTriple(tp sparql.TriplePattern, t rdf.Triple) (sparql.Binding, bool) {
+	if !tp.S.IsVar && tp.S.Term != t.S {
+		return nil, false
+	}
+	if !tp.P.IsVar && tp.P.Term != t.P {
+		return nil, false
+	}
+	if !tp.O.IsVar && tp.O.Term != t.O {
+		return nil, false
+	}
+	b := sparql.Binding{}
+	if tp.S.IsVar {
+		b[tp.S.Var] = t.S
+	}
+	if tp.P.IsVar {
+		if cur, ok := b[tp.P.Var]; ok && cur != t.P {
+			return nil, false
+		}
+		b[tp.P.Var] = t.P
+	}
+	if tp.O.IsVar {
+		if cur, ok := b[tp.O.Var]; ok && cur != t.O {
+			return nil, false
+		}
+		b[tp.O.Var] = t.O
+	}
+	return b, true
+}
+
+func hasClass(classes []string, c string) bool {
+	for _, x := range classes {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func varSet(vs []sparql.Var) map[sparql.Var]bool {
+	out := map[sparql.Var]bool{}
+	for _, v := range vs {
+		out[v] = true
+	}
+	return out
+}
+
+func sharedVars(have map[sparql.Var]bool, vs []sparql.Var) []sparql.Var {
+	var out []sparql.Var
+	for _, v := range vs {
+		if have[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bindingKey(b sparql.Binding, vars []sparql.Var) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := b[v]; ok {
+			parts[i] = t.String()
+		}
+	}
+	return strings.Join(parts, "\x00")
+}

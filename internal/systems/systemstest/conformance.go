@@ -1,0 +1,177 @@
+// Package systemstest provides the cross-engine conformance suite:
+// every engine must produce exactly the reference evaluator's answers
+// on a battery of shaped queries and on randomized datasets. Engine
+// test packages call Run with a factory for their engine.
+package systemstest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// Factory builds a fresh engine (fresh spark context) per test.
+type Factory func() core.Engine
+
+// Case is one conformance query.
+type Case struct {
+	Name  string
+	Query string
+	// BGPOnly marks queries answerable by BGP-fragment engines.
+	BGPOnly bool
+}
+
+// battery returns the conformance queries over the university
+// vocabulary. BGPOnly cases run on every engine; the rest only on
+// engines whose Info reports the BGP+ fragment.
+func battery() []Case {
+	p := func(local string) string { return "<" + workload.UnivNS + local + ">" }
+	typ := "<" + rdf.RDFType + ">"
+	return []Case{
+		{Name: "single-tp", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s ?o WHERE { ?s %s ?o }`, p("advisor"))},
+		{Name: "star-2", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s ?n ?a WHERE { ?s %s ?n . ?s %s ?a }`, p("name"), p("age"))},
+		{Name: "star-3-typed", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s ?n WHERE { ?s %s %s . ?s %s ?n . ?s %s ?a }`,
+			typ, p("Student"), p("name"), p("age"))},
+		{Name: "linear-2", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?st ?dept WHERE { ?st %s ?prof . ?prof %s ?dept }`,
+			p("advisor"), p("worksFor"))},
+		{Name: "linear-3", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?st ?univ WHERE { ?st %s ?prof . ?prof %s ?dept . ?dept %s ?univ }`,
+			p("advisor"), p("worksFor"), p("subOrganizationOf"))},
+		{Name: "snowflake", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?st ?sn ?pn WHERE { ?st %s ?sn . ?st %s ?prof . ?prof %s ?pn . ?prof %s ?dept }`,
+			p("name"), p("advisor"), p("name"), p("worksFor"))},
+		{Name: "cyclic", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?st ?c WHERE { ?st %s ?c . ?prof %s ?c . ?st %s ?prof }`,
+			p("takesCourse"), p("teacherOf"), p("advisor"))},
+		{Name: "bound-subject", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?p ?o WHERE { <%suniv0.dept0.stud0> ?p ?o }`, workload.UnivNS)},
+		{Name: "bound-object", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s WHERE { ?s %s %s }`, typ, p("Professor"))},
+		{Name: "no-answers", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s WHERE { ?s %s <%snoSuchThing> }`, p("advisor"), workload.UnivNS)},
+		{Name: "var-predicate", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?p WHERE { <%suniv0.dept0.stud1> ?p ?o }`, workload.UnivNS)},
+		{Name: "distinct-order-limit", Query: fmt.Sprintf(
+			`SELECT DISTINCT ?a WHERE { ?s %s ?a } ORDER BY ?a LIMIT 5`, p("age"))},
+		{Name: "filter-numeric", Query: fmt.Sprintf(
+			`SELECT ?s ?a WHERE { ?s %s ?a . FILTER(?a > 24 && ?a <= 60) }`, p("age"))},
+		{Name: "optional", Query: fmt.Sprintf(
+			`SELECT ?s ?e WHERE { ?s %s ?n OPTIONAL { ?s %s ?e } }`, p("name"), p("emailAddress"))},
+		{Name: "union", Query: fmt.Sprintf(
+			`SELECT ?x WHERE { { ?x %s %s } UNION { ?x %s %s } }`,
+			typ, p("Professor"), typ, p("Course"))},
+		{Name: "ask-true", Query: fmt.Sprintf(
+			`ASK { ?s %s %s }`, typ, p("Student"))},
+		{Name: "construct", BGPOnly: true, Query: fmt.Sprintf(
+			`CONSTRUCT { ?prof %s ?st } WHERE { ?st %s ?prof }`,
+			p("advises"), p("advisor"))},
+		{Name: "order-multikey-offset", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?s ?a ?n WHERE { ?s %s ?a . ?s %s ?n } ORDER BY ?a DESC(?n) LIMIT 7 OFFSET 3`,
+			p("age"), p("name"))},
+		{Name: "projection-subset", BGPOnly: true, Query: fmt.Sprintf(
+			`SELECT ?dept WHERE { ?st %s ?prof . ?prof %s ?dept }`,
+			p("advisor"), p("worksFor"))},
+	}
+}
+
+// Run executes the conformance battery against the reference evaluator
+// on the small university dataset.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	ref := rdf.NewGraph(triples)
+
+	engine := factory()
+	if err := engine.Load(triples); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	bgpPlus := engine.Info().SPARQL == core.FragmentBGPPlus
+
+	for _, c := range battery() {
+		if !c.BGPOnly && !bgpPlus {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			q, err := sparql.Parse(c.Query)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			want, err := sparql.Evaluate(q, ref)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := engine.Execute(q)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("answers differ\nengine (%d rows): %v\nreference (%d rows): %v",
+					got.Len(), head(got.Canonical()), want.Len(), head(want.Canonical()))
+			}
+		})
+	}
+}
+
+// RunRandomized fuzzes the engine against the reference on random
+// small datasets with random star/linear BGPs.
+func RunRandomized(t *testing.T, factory Factory, rounds int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"p0", "p1", "p2"}
+	for round := 0; round < rounds; round++ {
+		// Random dataset: 40 triples over a small constant pool so joins hit.
+		var triples []rdf.Triple
+		for i := 0; i < 40; i++ {
+			s := rdf.NewIRI(fmt.Sprintf("http://r/n%d", rng.Intn(10)))
+			p := rdf.NewIRI("http://r/" + preds[rng.Intn(len(preds))])
+			o := rdf.NewIRI(fmt.Sprintf("http://r/n%d", rng.Intn(10)))
+			triples = append(triples, rdf.Triple{S: s, P: p, O: o})
+		}
+		ref := rdf.NewGraph(triples)
+
+		engine := factory()
+		if err := engine.Load(triples); err != nil {
+			t.Fatalf("round %d Load: %v", round, err)
+		}
+
+		for qi := 0; qi < 4; qi++ {
+			var text string
+			p1 := "http://r/" + preds[rng.Intn(len(preds))]
+			p2 := "http://r/" + preds[rng.Intn(len(preds))]
+			if rng.Intn(2) == 0 {
+				text = fmt.Sprintf(`SELECT ?x ?a ?b WHERE { ?x <%s> ?a . ?x <%s> ?b }`, p1, p2)
+			} else {
+				text = fmt.Sprintf(`SELECT ?x ?y ?z WHERE { ?x <%s> ?y . ?y <%s> ?z }`, p1, p2)
+			}
+			q := sparql.MustParse(text)
+			want, err := sparql.Evaluate(q, ref)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := engine.Execute(q)
+			if err != nil {
+				t.Fatalf("round %d engine(%s): %v", round, text, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("round %d query %s:\nengine %d rows %v\nreference %d rows %v",
+					round, text, got.Len(), head(got.Canonical()), want.Len(), head(want.Canonical()))
+			}
+		}
+	}
+}
+
+func head(rows []string) []string {
+	if len(rows) > 6 {
+		return rows[:6]
+	}
+	return rows
+}
