@@ -412,3 +412,74 @@ func BenchmarkVersionedQueryAnswering(b *testing.B) {
 		}
 	})
 }
+
+// --- Reference-evaluator hot path (slot-compiled BGP evaluation) ---
+
+// BenchmarkEvalBGP measures the reference evaluator on the shaped
+// university queries of the conformance battery. Every conformance
+// test funnels through sparql.Evaluate, so its allocation behavior
+// bounds the whole suite. The queries here exercise the slot-compiled
+// BGP evaluator plus the id-space solution-modifier pipeline
+// (projection, DISTINCT, ORDER BY, LIMIT).
+func BenchmarkEvalBGP(b *testing.B) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	g := rdf.NewGraph(triples)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"star", fmt.Sprintf(
+			`SELECT ?s ?a ?n WHERE { ?s <%sage> ?a . ?s <%sname> ?n } ORDER BY ?a DESC(?n) LIMIT 7 OFFSET 3`,
+			workload.UnivNS, workload.UnivNS)},
+		{"linear-3", fmt.Sprintf(
+			`SELECT ?st ?univ WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept . ?dept <%ssubOrganizationOf> ?univ }`,
+			workload.UnivNS, workload.UnivNS, workload.UnivNS)},
+		{"snowflake", fmt.Sprintf(
+			`SELECT ?st ?sn ?pn WHERE { ?st <%sname> ?sn . ?st <%sadvisor> ?prof . ?prof <%sname> ?pn . ?prof <%sworksFor> ?dept }`,
+			workload.UnivNS, workload.UnivNS, workload.UnivNS, workload.UnivNS)},
+		{"distinct-order-limit", fmt.Sprintf(
+			`SELECT DISTINCT ?a WHERE { ?s <%sage> ?a } ORDER BY ?a LIMIT 5`, workload.UnivNS)},
+	}
+	for _, c := range cases {
+		q := sparql.MustParse(c.query)
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.Evaluate(q, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalFullDecode tracks the decode-bound evaluator path:
+// queries whose whole solution sequence must be materialized as
+// map-based Bindings (the Results contract), so allocations scale
+// with the number of result rows no matter how lean the id-space
+// evaluation is.
+func BenchmarkEvalFullDecode(b *testing.B) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	g := rdf.NewGraph(triples)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"star-2", fmt.Sprintf(
+			`SELECT ?s ?n ?a WHERE { ?s <%sname> ?n . ?s <%sage> ?a }`,
+			workload.UnivNS, workload.UnivNS)},
+		{"bound-subject", fmt.Sprintf(
+			`SELECT ?p ?o WHERE { <%suniv0.dept0.stud0> ?p ?o }`, workload.UnivNS)},
+	}
+	for _, c := range cases {
+		q := sparql.MustParse(c.query)
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.Evaluate(q, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

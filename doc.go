@@ -6,6 +6,38 @@
 // implementations of all nine systems the survey covers, plus the
 // assessment harness that measures them against each other.
 //
+// # Execution-path architecture
+//
+// Two hot paths carry every benchmark and conformance test:
+//
+//   - The shuffle path (internal/spark). PartitionBy scatters in
+//     parallel — one map-side task per source partition writes
+//     per-destination buckets, merged deterministically in source
+//     order — and meters shuffle bytes by structurally sampling a few
+//     boundary records (internal/spark/sizer.go), never by collecting
+//     the dataset to the driver. Join and CoGroup skip the shuffle for
+//     sides that are already key-partitioned with the matching
+//     partition count, and SortBy performs a range-partitioned merge:
+//     sampled splits, one scatter shuffle, parallel per-range sorts.
+//
+//   - The reference evaluator (internal/sparql over internal/rdf).
+//     Queries are slot-compiled: a Var→slot table is built once per
+//     query and every partial solution is a []rdf.TermID row over the
+//     graph's dictionary-encoded triples (rdf.Graph.Encoded), the
+//     HAQWA-style integer encoding. BGP patterns are reordered by
+//     estimated selectivity from the SPARQLGX-style rdf.Stats, rows
+//     are bump-allocated from arenas, and solution modifiers
+//     (projection, DISTINCT, ORDER BY, LIMIT, ASK) run in id space so
+//     only surviving rows are decoded back to terms. Graph lookups
+//     (WithSubject/WithPredicate/WithObject) return zero-copy index
+//     views; allocation-regression tests pin both invariants.
+//
+// Run the micro-benchmarks tracking these paths with
+//
+//	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy' -benchmem ./...
+//
+// and the full assessment suite with go test -bench . -benchmem.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // per-table/figure reproduction record. The benchmarks in this package
 // (bench_test.go) regenerate every artifact of the paper.

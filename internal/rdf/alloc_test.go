@@ -1,0 +1,110 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allocGraph(n int) *Graph {
+	ts := make([]Triple, 0, 2*n)
+	for i := 0; i < n; i++ {
+		s := NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		ts = append(ts,
+			Triple{S: s, P: NewIRI("http://ex/name"), O: NewLiteral(fmt.Sprintf("n%d", i))},
+			Triple{S: s, P: NewIRI("http://ex/age"), O: NewTypedLiteral(fmt.Sprint(20 + i%50), XSDInteger)},
+		)
+	}
+	return NewGraph(ts)
+}
+
+// The positional lookups are zero-copy index views; a regression to
+// copying would silently reintroduce an allocation per candidate scan
+// in the evaluator's hottest loop.
+func TestGraphLookupsDoNotAllocate(t *testing.T) {
+	g := allocGraph(100)
+	s := NewIRI("http://ex/s7")
+	o := NewLiteral("n7")
+	var got int
+	if n := testing.AllocsPerRun(100, func() {
+		got += len(g.WithSubject(s))
+	}); n != 0 {
+		t.Fatalf("WithSubject allocates %.1f times per lookup, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		got += len(g.WithPredicate("http://ex/name"))
+	}); n != 0 {
+		t.Fatalf("WithPredicate allocates %.1f times per lookup, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		got += len(g.WithObject(o))
+	}); n != 0 {
+		t.Fatalf("WithObject allocates %.1f times per lookup, want 0", n)
+	}
+	if got == 0 {
+		t.Fatal("lookups returned no triples")
+	}
+}
+
+func TestEncodedViewMatchesGraph(t *testing.T) {
+	g := allocGraph(50)
+	v := g.Encoded()
+	if v.Len() != g.Len() {
+		t.Fatalf("encoded len = %d, graph len = %d", v.Len(), g.Len())
+	}
+	dict := v.Dict()
+	for _, e := range v.Triples() {
+		tr, err := dict.DecodeTriple(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Has(tr) {
+			t.Fatalf("decoded triple %v not in graph", tr)
+		}
+	}
+	// Per-id indexes agree with the term-space indexes.
+	s := NewIRI("http://ex/s3")
+	id, ok := dict.Lookup(s)
+	if !ok {
+		t.Fatal("subject missing from dictionary")
+	}
+	if got, want := len(v.WithSubject(id)), len(g.WithSubject(s)); got != want {
+		t.Fatalf("encoded WithSubject = %d triples, want %d", got, want)
+	}
+}
+
+func TestEncodedViewExtendsAfterAdd(t *testing.T) {
+	g := allocGraph(10)
+	v1 := g.Encoded()
+	n := v1.Len()
+	if !g.Add(Triple{S: NewIRI("http://ex/new"), P: NewIRI("http://ex/name"), O: NewLiteral("x")}) {
+		t.Fatal("Add reported duplicate")
+	}
+	v2 := g.Encoded()
+	if v2.Len() != n+1 {
+		t.Fatalf("encoded view not extended: len = %d, want %d", v2.Len(), n+1)
+	}
+}
+
+func TestGraphStatsCachedAndInvalidated(t *testing.T) {
+	g := allocGraph(25)
+	st := g.Stats()
+	want := ComputeStats(g.Triples())
+	if st.Triples != want.Triples ||
+		st.DistinctSubjects != want.DistinctSubjects ||
+		st.DistinctPredicates != want.DistinctPredicates ||
+		st.DistinctObjects != want.DistinctObjects {
+		t.Fatalf("Stats() = %+v, ComputeStats = %+v", st, want)
+	}
+	for p, c := range want.PredicateCounts {
+		if st.PredicateCounts[p] != c {
+			t.Fatalf("predicate %q count = %d, want %d", p, st.PredicateCounts[p], c)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = g.Stats() }); n != 0 {
+		t.Fatalf("cached Stats allocates %.1f times per call, want 0", n)
+	}
+	g.Add(Triple{S: NewIRI("http://ex/z"), P: NewIRI("http://ex/zp"), O: NewLiteral("z")})
+	if got := g.Stats(); got.Triples != st.Triples+1 || got.PredicateCounts["http://ex/zp"] != 1 {
+		t.Fatalf("Stats not invalidated after Add: %+v", got)
+	}
+}

@@ -76,6 +76,16 @@ func (d *Dictionary) MustDecode(id TermID) Term {
 	return t
 }
 
+// Terms returns a read-only snapshot of the id→term table: index i
+// holds the term for TermID(i). Hot decode loops index this slice
+// directly instead of taking the lock per Decode call; ids assigned
+// after the snapshot are not visible in it.
+func (d *Dictionary) Terms() []Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[:len(d.terms):len(d.terms)]
+}
+
 // Len returns the number of distinct terms seen.
 func (d *Dictionary) Len() int {
 	d.mu.RLock()

@@ -1,0 +1,60 @@
+package rdf
+
+// EncodedView is the dictionary-encoded face of a Graph: the same
+// triples in TermID space, with positional indexes keyed by id. The
+// slot-compiled reference evaluator runs entirely on this view —
+// candidate scans, join-variable comparisons, and selectivity
+// estimates all happen on 12-byte EncodedTriples instead of
+// string-bearing Terms — and decodes ids back to Terms only when
+// materializing final solutions.
+//
+// Obtain a view with Graph.Encoded(). All returned slices are views
+// into the index and must be treated as read-only.
+type EncodedView struct {
+	dict    *Dictionary
+	triples []EncodedTriple
+	byS     map[TermID][]EncodedTriple
+	byP     map[TermID][]EncodedTriple
+	byO     map[TermID][]EncodedTriple
+}
+
+func newEncodedView() *EncodedView {
+	return &EncodedView{
+		dict: NewDictionary(),
+		byS:  make(map[TermID][]EncodedTriple),
+		byP:  make(map[TermID][]EncodedTriple),
+		byO:  make(map[TermID][]EncodedTriple),
+	}
+}
+
+// extend encodes and indexes additional triples.
+func (v *EncodedView) extend(ts []Triple) {
+	for _, t := range ts {
+		e := v.dict.EncodeTriple(t)
+		v.triples = append(v.triples, e)
+		v.byS[e.S] = append(v.byS[e.S], e)
+		v.byP[e.P] = append(v.byP[e.P], e)
+		v.byO[e.O] = append(v.byO[e.O], e)
+	}
+}
+
+// Dict returns the dictionary that maps ids to terms and back.
+func (v *EncodedView) Dict() *Dictionary { return v.dict }
+
+// Len returns the number of encoded triples.
+func (v *EncodedView) Len() int { return len(v.triples) }
+
+// Triples returns all encoded triples (read-only).
+func (v *EncodedView) Triples() []EncodedTriple { return v.triples }
+
+// WithSubject returns the encoded triples whose subject is id
+// (read-only, no copy).
+func (v *EncodedView) WithSubject(id TermID) []EncodedTriple { return v.byS[id] }
+
+// WithPredicate returns the encoded triples whose predicate is id
+// (read-only, no copy).
+func (v *EncodedView) WithPredicate(id TermID) []EncodedTriple { return v.byP[id] }
+
+// WithObject returns the encoded triples whose object is id
+// (read-only, no copy).
+func (v *EncodedView) WithObject(id TermID) []EncodedTriple { return v.byO[id] }

@@ -1,26 +1,43 @@
 package rdf
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Graph is an in-memory triple store with the positional indexes the
-// reference evaluator needs (SPO iteration plus by-predicate and
-// by-subject lookup). Engines do not use it — they manage their own
-// distributed layouts — but tests verify every engine against it.
+// reference evaluator needs (SPO iteration plus by-predicate,
+// by-subject, and by-object lookup). Engines do not use it — they
+// manage their own distributed layouts — but tests verify every engine
+// against it.
+//
+// The indexes store per-key triple slices, so WithSubject /
+// WithPredicate / WithObject return views without copying. Callers
+// must treat the returned slices as read-only.
 type Graph struct {
 	triples []Triple
-	byP     map[string][]int
-	byS     map[Term][]int
-	byO     map[Term][]int
+	byP     map[string][]Triple
+	byS     map[Term][]Triple
+	byO     map[Term][]Triple
 	set     map[Triple]bool
+
+	// Encoded side (HAQWA-style integer ids, built lazily and extended
+	// incrementally): the slot-compiled evaluator works entirely in id
+	// space and only decodes final solutions.
+	encMu sync.Mutex
+	view  *EncodedView
+	encN  int // triples already encoded into view
+
+	stats *Stats // cached ComputeStats result; nil after mutation
 }
 
 // NewGraph builds a graph, deduplicating triples (RDF graphs are sets).
 func NewGraph(triples []Triple) *Graph {
 	g := &Graph{
-		byP: make(map[string][]int),
-		byS: make(map[Term][]int),
-		byO: make(map[Term][]int),
-		set: make(map[Triple]bool),
+		byP: make(map[string][]Triple),
+		byS: make(map[Term][]Triple),
+		byO: make(map[Term][]Triple),
+		set: make(map[Triple]bool, len(triples)),
 	}
 	for _, t := range triples {
 		g.Add(t)
@@ -34,12 +51,12 @@ func (g *Graph) Add(t Triple) bool {
 	if g.set[t] {
 		return false
 	}
-	i := len(g.triples)
 	g.triples = append(g.triples, t)
 	g.set[t] = true
-	g.byP[t.P.Value] = append(g.byP[t.P.Value], i)
-	g.byS[t.S] = append(g.byS[t.S], i)
-	g.byO[t.O] = append(g.byO[t.O], i)
+	g.byP[t.P.Value] = append(g.byP[t.P.Value], t)
+	g.byS[t.S] = append(g.byS[t.S], t)
+	g.byO[t.O] = append(g.byO[t.O], t)
+	g.stats = nil
 	return true
 }
 
@@ -52,35 +69,18 @@ func (g *Graph) Len() int { return len(g.triples) }
 // Triples returns all triples (callers must not modify the slice).
 func (g *Graph) Triples() []Triple { return g.triples }
 
-// WithPredicate returns the triples with the given predicate IRI.
-func (g *Graph) WithPredicate(p string) []Triple {
-	idx := g.byP[p]
-	out := make([]Triple, len(idx))
-	for i, j := range idx {
-		out[i] = g.triples[j]
-	}
-	return out
-}
+// WithPredicate returns the triples with the given predicate IRI. The
+// returned slice is a view into the index: no copy is made and callers
+// must not modify it.
+func (g *Graph) WithPredicate(p string) []Triple { return g.byP[p] }
 
-// WithSubject returns the triples with the given subject.
-func (g *Graph) WithSubject(s Term) []Triple {
-	idx := g.byS[s]
-	out := make([]Triple, len(idx))
-	for i, j := range idx {
-		out[i] = g.triples[j]
-	}
-	return out
-}
+// WithSubject returns the triples with the given subject, as a
+// read-only view (no copy).
+func (g *Graph) WithSubject(s Term) []Triple { return g.byS[s] }
 
-// WithObject returns the triples with the given object.
-func (g *Graph) WithObject(o Term) []Triple {
-	idx := g.byO[o]
-	out := make([]Triple, len(idx))
-	for i, j := range idx {
-		out[i] = g.triples[j]
-	}
-	return out
-}
+// WithObject returns the triples with the given object, as a
+// read-only view (no copy).
+func (g *Graph) WithObject(o Term) []Triple { return g.byO[o] }
 
 // Predicates returns the distinct predicate IRIs, sorted.
 func (g *Graph) Predicates() []string {
@@ -99,6 +99,51 @@ func (g *Graph) Subjects() []Term {
 		out = append(out, s)
 	}
 	return out
+}
+
+// Encoded returns the dictionary-encoded view of the graph, building
+// it on first use and extending it incrementally after Adds. Safe for
+// concurrent readers as long as no Add runs concurrently (the same
+// contract as the term-space indexes).
+func (g *Graph) Encoded() *EncodedView {
+	g.encMu.Lock()
+	defer g.encMu.Unlock()
+	if g.view == nil {
+		g.view = newEncodedView()
+	}
+	if g.encN < len(g.triples) {
+		g.view.extend(g.triples[g.encN:])
+		g.encN = len(g.triples)
+	}
+	return g.view
+}
+
+// Stats returns the SPARQLGX-style dataset statistics for the graph,
+// computed from the indexes and cached until the next Add. Like
+// Encoded, the lazy fill is locked so concurrent readers (parallel
+// Evaluate calls on a shared graph) are safe. The PredicateCounts map
+// is the cache itself, shared across calls like every other view this
+// type returns: callers must treat it as read-only (use ComputeStats
+// for an independent copy).
+func (g *Graph) Stats() Stats {
+	g.encMu.Lock()
+	defer g.encMu.Unlock()
+	if g.stats != nil {
+		return *g.stats
+	}
+	pred := make(map[string]int, len(g.byP))
+	for p, ts := range g.byP {
+		pred[p] = len(ts)
+	}
+	s := Stats{
+		Triples:            len(g.triples),
+		DistinctSubjects:   len(g.byS),
+		DistinctPredicates: len(g.byP),
+		DistinctObjects:    len(g.byO),
+		PredicateCounts:    pred,
+	}
+	g.stats = &s
+	return s
 }
 
 // Stats summarizes a dataset: the statistics SPARQLGX [13] collects to

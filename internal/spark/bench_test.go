@@ -1,0 +1,71 @@
+package spark
+
+// Micro-benchmarks for the shuffle hot path. The survey compares
+// engines by the shuffle work their plans generate, so PartitionBy /
+// Join / SortBy sit under every macro-benchmark in the repo root;
+// these track their cost (and allocation behavior) in isolation,
+// PR-over-PR. Run with
+//
+//	go test ./internal/spark -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchPairs(n int) []Pair[string, int] {
+	out := make([]Pair[string, int], n)
+	for i := range out {
+		out[i] = Pair[string, int]{Key: fmt.Sprintf("key-%d", i%257), Value: i}
+	}
+	return out
+}
+
+func BenchmarkPartitionBy(b *testing.B) {
+	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
+	r := Parallelize(ctx, benchPairs(10000))
+	p := NewHashPartitioner[string](4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PartitionBy(r, p)
+	}
+}
+
+func BenchmarkJoinCoPartitioned(b *testing.B) {
+	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
+	p := NewHashPartitioner[string](4)
+	left := PartitionBy(Parallelize(ctx, benchPairs(5000)), p)
+	right := PartitionBy(Parallelize(ctx, benchPairs(1000)), p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Join(left, right)
+	}
+}
+
+func BenchmarkCoGroupCoPartitioned(b *testing.B) {
+	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
+	p := NewHashPartitioner[string](4)
+	left := PartitionBy(Parallelize(ctx, benchPairs(5000)), p)
+	right := PartitionBy(Parallelize(ctx, benchPairs(1000)), p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CoGroup(left, right)
+	}
+}
+
+func BenchmarkSortBy(b *testing.B) {
+	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
+	data := make([]int, 10000)
+	for i := range data {
+		data[i] = (i * 7919) % 10000
+	}
+	r := Parallelize(ctx, data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SortBy(r, func(v int) int { return v })
+	}
+}

@@ -29,28 +29,43 @@ func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], f func(V) W) *RDD[Pai
 	out := Map(r, func(p Pair[K, V]) Pair[K, W] { return Pair[K, W]{p.Key, f(p.Value)} })
 	out.keyedHint = r.keyedHint
 	out.partDesc = r.partDesc
+	out.placedBy = r.placedBy
 	return out
 }
 
 // PartitionBy redistributes a pair RDD so every record lands on the
 // partition chosen by p. This is the fundamental wide transformation:
 // the whole dataset crosses a shuffle boundary and is metered as such.
+// The scatter runs one map-side task per source partition in parallel,
+// each writing per-destination buckets that are merged (in source
+// order, so the placement is deterministic) at the end; the byte
+// estimate samples boundary partitions instead of collecting the
+// dataset to the driver.
 func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD[Pair[K, V]] {
 	n := p.NumPartitions()
 	if n < 1 {
 		n = 1
 	}
-	out := make([][]Pair[K, V], n)
-	for _, part := range r.parts {
-		for _, rec := range part {
-			idx := p.Partition(rec.Key)
-			out[idx] = append(out[idx], rec)
-		}
-	}
-	r.ctx.addShuffle(int64(r.Count()), estimateBytes(r.Collect()))
+	out, total := scatterMerge(r.ctx, r.parts, n, func(rec Pair[K, V]) int { return p.Partition(rec.Key) })
+	r.ctx.addShuffle(int64(total), estimateShuffleBytes(r.parts, total))
 	res := fromParts(r.ctx, out, p.Describe())
 	res.keyedHint = true
+	res.placedBy = p
 	return res
+}
+
+// coPartitionedWith reports whether r is already laid out exactly as
+// hash partitioner p would place it, so a join-like operation can
+// skip r's shuffle. The keyed hint alone is not enough: a
+// range-partitioned side co-locates each key within itself but at
+// different indexes than a hash-partitioned peer. Hash placement is a
+// pure function of key and partition count, so r qualifies exactly
+// when the partitioner that placed it was a HashPartitioner with the
+// same count — checked against the recorded placer, not its Describe
+// string, which a custom partitioner could spoof.
+func coPartitionedWith[K comparable, V any](r *RDD[Pair[K, V]], p HashPartitioner[K]) bool {
+	placed, ok := r.placedBy.(HashPartitioner[K])
+	return ok && r.keyedHint && placed.N == p.N && len(r.parts) == p.N
 }
 
 // IsKeyPartitioned reports whether the pair RDD has already been placed
@@ -106,6 +121,7 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V) *RDD[P
 	})
 	res := fromParts(r.ctx, out, "hash")
 	res.keyedHint = true
+	res.placedBy = shuffled.placedBy
 	return res
 }
 
@@ -135,13 +151,15 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[Pair[K, []V]] {
 	})
 	res := fromParts(r.ctx, out, "hash")
 	res.keyedHint = true
+	res.placedBy = shuffled.placedBy
 	return res
 }
 
 // Join computes the inner equi-join of two pair RDDs with a partitioned
 // (shuffle hash) join: both sides are co-partitioned by key, then each
-// partition is joined locally. Sides that are already key-partitioned
-// with the matching partition count skip their shuffle.
+// partition is joined locally. Sides already hash-partitioned with the
+// matching partition count skip their shuffle (Spark's "known
+// partitioner" optimization).
 func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[V, W]]] {
 	n := len(a.parts)
 	if len(b.parts) > n {
@@ -149,11 +167,11 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 	}
 	p := NewHashPartitioner[K](n)
 	left := a
-	if !a.keyedHint || len(a.parts) != n {
+	if !coPartitionedWith(a, p) {
 		left = PartitionBy(a, p)
 	}
 	right := b
-	if !b.keyedHint || len(b.parts) != n {
+	if !coPartitionedWith(b, p) {
 		right = PartitionBy(b, p)
 	}
 	out := make([][]Pair[K, Tuple2[V, W]], n)
@@ -172,6 +190,7 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[P
 	})
 	res := fromParts(a.ctx, out, "hash")
 	res.keyedHint = true
+	res.placedBy = p
 	return res
 }
 
@@ -184,11 +203,11 @@ func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 	}
 	p := NewHashPartitioner[K](n)
 	left := a
-	if !a.keyedHint || len(a.parts) != n {
+	if !coPartitionedWith(a, p) {
 		left = PartitionBy(a, p)
 	}
 	right := b
-	if !b.keyedHint || len(b.parts) != n {
+	if !coPartitionedWith(b, p) {
 		right = PartitionBy(b, p)
 	}
 	out := make([][]Pair[K, Tuple2[V, Opt[W]]], n)
@@ -212,6 +231,7 @@ func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 	})
 	res := fromParts(a.ctx, out, "hash")
 	res.keyedHint = true
+	res.placedBy = p
 	return res
 }
 
@@ -244,20 +264,28 @@ func BroadcastJoin[K comparable, V, W any](large *RDD[Pair[K, V]], small *RDD[Pa
 	})
 	res := fromParts(large.ctx, out, large.partDesc)
 	res.keyedHint = large.keyedHint
+	res.placedBy = large.placedBy
 	return res
 }
 
 // CoGroup groups both RDDs by key in one shuffle, like
 // PairRDDFunctions.cogroup: the result holds, per key, all left values
-// and all right values.
+// and all right values. Sides already hash-partitioned with the
+// matching partition count skip their shuffle, exactly as Join does.
 func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RDD[Pair[K, Tuple2[[]V, []W]]] {
 	n := len(a.parts)
 	if len(b.parts) > n {
 		n = len(b.parts)
 	}
 	p := NewHashPartitioner[K](n)
-	left := PartitionBy(a, p)
-	right := PartitionBy(b, p)
+	left := a
+	if !coPartitionedWith(a, p) {
+		left = PartitionBy(a, p)
+	}
+	right := b
+	if !coPartitionedWith(b, p) {
+		right = PartitionBy(b, p)
+	}
 	out := make([][]Pair[K, Tuple2[[]V, []W]], n)
 	a.ctx.runTasks(n, func(i int) {
 		lm := make(map[K][]V)
@@ -286,6 +314,7 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RD
 	})
 	res := fromParts(a.ctx, out, "hash")
 	res.keyedHint = true
+	res.placedBy = p
 	return res
 }
 

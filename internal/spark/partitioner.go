@@ -2,7 +2,6 @@ package spark
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -68,30 +67,50 @@ func (p FuncPartitioner[K]) Describe() string { return p.Name }
 
 // HashKey returns a deterministic non-negative hash for any comparable
 // key. Common key types get a fast path; everything else hashes its
-// fmt.Sprint rendering, which is stable for value types.
+// fmt.Sprint rendering, which is stable for value types. The type
+// switch inspects a pointer to the key rather than the key itself:
+// boxing a stack pointer into an interface does not allocate, whereas
+// boxing a string key would heap-allocate on every shuffled record.
 func HashKey[K comparable](key K) int {
-	switch k := any(key).(type) {
-	case string:
-		return hashString(k)
-	case int:
-		return hashUint64(uint64(k))
-	case int32:
-		return hashUint64(uint64(k))
-	case int64:
-		return hashUint64(uint64(k))
-	case uint32:
-		return hashUint64(uint64(k))
-	case uint64:
-		return hashUint64(k)
+	switch k := any(&key).(type) {
+	case *string:
+		return hashString(*k)
+	case *int:
+		return hashUint64(uint64(*k))
+	case *int32:
+		return hashUint64(uint64(*k))
+	case *int64:
+		return hashUint64(uint64(*k))
+	case *uint32:
+		return hashUint64(uint64(*k))
+	case *uint64:
+		return hashUint64(*k)
 	default:
-		return hashString(fmt.Sprint(k))
+		return hashKeySlow(key)
 	}
 }
 
+// hashKeySlow renders uncommon key types; kept out of HashKey so the
+// fmt call cannot force the fast path's key to escape.
+func hashKeySlow[K comparable](key K) int {
+	return hashString(fmt.Sprint(key))
+}
+
+// hashString is FNV-1a, inlined so hashing a key allocates nothing
+// (hash/fnv's New32a heap-allocates a hasher per call, which used to
+// dominate PartitionBy's allocation profile). The values are
+// bit-identical to fnv.New32a, so data placement is unchanged.
 func hashString(s string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(s))
-	return int(h.Sum32() & 0x7fffffff)
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return int(h & 0x7fffffff)
 }
 
 func hashUint64(v uint64) int {

@@ -1,7 +1,6 @@
 package spark
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -16,6 +15,11 @@ type RDD[T any] struct {
 	parts     [][]T
 	partDesc  string // how the data is partitioned, for reports
 	keyedHint bool   // true when a pair RDD is already key-partitioned
+	// placedBy records the Partitioner that produced the current key
+	// placement (nil when unknown). Join-like operations compare it to
+	// decide whether a side's shuffle can be skipped — the Describe()
+	// string alone could be spoofed by a custom partitioner.
+	placedBy any
 }
 
 // Parallelize distributes data across the context's default parallelism,
@@ -112,6 +116,7 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	})
 	nr := fromParts(r.ctx, out, r.partDesc)
 	nr.keyedHint = r.keyedHint
+	nr.placedBy = r.placedBy
 	return nr
 }
 
@@ -169,15 +174,86 @@ func Distinct[T comparable](r *RDD[T]) *RDD[T] {
 	return Map(reduced, func(p Pair[T, struct{}]) T { return p.Key })
 }
 
-// SortBy globally sorts the records by the given key. Wide
-// transformation: all records cross one shuffle into a single sorted
-// partition per range (simplified to one range here, which preserves the
-// cost model: every record is shuffled once).
+// SortBy globally sorts the records by the given key with a
+// range-partitioned merge, like Spark's sortBy: keys are sampled to
+// derive range splits, records are scattered into their range (the one
+// shuffle every record crosses), and each range is sorted locally in
+// parallel. Concatenating the output partitions in order yields the
+// globally sorted sequence; equal keys keep their original relative
+// order (stable).
 func SortBy[T any, K Ordered](r *RDD[T], key func(T) K) *RDD[T] {
-	all := r.Collect()
-	r.ctx.addShuffle(int64(len(all)), estimateBytes(all))
-	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
-	return ParallelizeN(r.ctx, all, len(r.parts))
+	n := len(r.parts)
+	if n < 1 {
+		n = 1
+	}
+	// Sample up to ~20 keys per partition for the range splits.
+	samples := make([][]K, len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		part := r.parts[i]
+		if len(part) == 0 {
+			return
+		}
+		step := len(part)/20 + 1
+		keys := make([]K, 0, len(part)/step+1)
+		for j := 0; j < len(part); j += step {
+			keys = append(keys, key(part[j]))
+		}
+		samples[i] = keys
+	})
+	var sampled []K
+	for _, s := range samples {
+		sampled = append(sampled, s...)
+	}
+	p := NewRangePartitioner(sampled, n)
+
+	// Scatter into range buckets (the shuffle), then sort each range
+	// locally in parallel.
+	out, total := scatterMerge(r.ctx, r.parts, p.NumPartitions(), func(v T) int { return p.Partition(key(v)) })
+	r.ctx.addShuffle(int64(total), estimateShuffleBytes(r.parts, total))
+	r.ctx.runTasks(len(out), func(dst int) {
+		part := out[dst]
+		sort.SliceStable(part, func(a, b int) bool { return key(part[a]) < key(part[b]) })
+	})
+	return fromParts(r.ctx, out, "range")
+}
+
+// scatterMerge is the shared shuffle mechanic under PartitionBy and
+// SortBy: one task per source partition places each record into one of
+// m destination buckets, then one task per destination merges its
+// buckets in source order (keeping placement deterministic and merges
+// stable). Returns the merged partitions and the record count.
+func scatterMerge[T any](ctx *Context, parts [][]T, m int, place func(T) int) ([][]T, int) {
+	buckets := make([][][]T, len(parts))
+	ctx.runTasks(len(parts), func(i int) {
+		local := make([][]T, m)
+		for _, v := range parts[i] {
+			idx := place(v)
+			local[idx] = append(local[idx], v)
+		}
+		buckets[i] = local
+	})
+	total := 0
+	for src := range buckets {
+		for _, bucket := range buckets[src] {
+			total += len(bucket)
+		}
+	}
+	out := make([][]T, m)
+	ctx.runTasks(m, func(dst int) {
+		size := 0
+		for src := range buckets {
+			size += len(buckets[src][dst])
+		}
+		if size == 0 {
+			return
+		}
+		merged := make([]T, 0, size)
+		for src := range buckets {
+			merged = append(merged, buckets[src][dst]...)
+		}
+		out[dst] = merged
+	})
+	return out, total
 }
 
 // Ordered is the constraint for sortable keys.
@@ -206,24 +282,3 @@ func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
 	return fromParts(a.ctx, out, "cartesian")
 }
 
-// estimateBytes approximates the serialized size of a record batch by
-// sampling: Spark meters shuffle bytes, and the engines compare on that,
-// so a stable estimate is enough.
-func estimateBytes[T any](data []T) int64 {
-	if len(data) == 0 {
-		return 0
-	}
-	samples := 3
-	if len(data) < samples {
-		samples = len(data)
-	}
-	var per int64
-	for i := 0; i < samples; i++ {
-		per += int64(len(fmt.Sprint(data[i*len(data)/samples])))
-	}
-	per /= int64(samples)
-	if per == 0 {
-		per = 1
-	}
-	return per * int64(len(data))
-}

@@ -632,3 +632,132 @@ func TestPartitionByRangeKeepsOrderContiguous(t *testing.T) {
 		}
 	}
 }
+
+func TestCoPartitionedCoGroupSkipsShuffle(t *testing.T) {
+	ctx := testCtx()
+	mk := func(n int) []Pair[int, int] {
+		out := make([]Pair[int, int], n)
+		for i := range out {
+			out[i] = Pair[int, int]{i % 9, i}
+		}
+		return out
+	}
+	p := NewHashPartitioner[int](4)
+	a := PartitionBy(ParallelizeN(ctx, mk(100), 4), p)
+	b := PartitionBy(ParallelizeN(ctx, mk(40), 4), p)
+	before := ctx.Snapshot()
+	grouped := CoGroup(a, b)
+	d := ctx.Snapshot().Diff(before)
+	if d.ShuffleRecords != 0 {
+		t.Fatalf("co-partitioned cogroup shuffled %d records, want 0", d.ShuffleRecords)
+	}
+	// The skipped shuffle must not change the answer.
+	byKey := map[int]Tuple2[[]int, []int]{}
+	for _, rec := range grouped.Collect() {
+		byKey[rec.Key] = rec.Value
+	}
+	if len(byKey) != 9 {
+		t.Fatalf("cogroup keys = %d, want 9", len(byKey))
+	}
+	for k, v := range byKey {
+		wantLeft, wantRight := 0, 0
+		for i := 0; i < 100; i++ {
+			if i%9 == k {
+				wantLeft++
+			}
+		}
+		for i := 0; i < 40; i++ {
+			if i%9 == k {
+				wantRight++
+			}
+		}
+		if len(v.A) != wantLeft || len(v.B) != wantRight {
+			t.Fatalf("key %d: got %d/%d values, want %d/%d", k, len(v.A), len(v.B), wantLeft, wantRight)
+		}
+	}
+}
+
+func TestSortByRangePartitioned(t *testing.T) {
+	ctx := testCtx()
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = (i * 7919) % 500
+	}
+	before := ctx.Snapshot()
+	sorted := SortBy(Parallelize(ctx, data), func(v int) int { return v })
+	d := ctx.Snapshot().Diff(before)
+	if got := sorted.Collect(); !sort.IntsAreSorted(got) {
+		t.Fatalf("SortBy result not globally sorted")
+	}
+	// One shuffle, every record crossing it once — the same cost model
+	// as the old single-range sort, now with a range-partitioned merge.
+	if d.ShuffleRecords != 500 {
+		t.Fatalf("shuffle records = %d, want 500", d.ShuffleRecords)
+	}
+	if d.Stages != 1 {
+		t.Fatalf("stages = %d, want 1", d.Stages)
+	}
+	if sorted.PartitionDesc() != "range" {
+		t.Fatalf("partition desc = %q, want range", sorted.PartitionDesc())
+	}
+	// Partitions are contiguous ranges: concatenation order is sorted.
+	prevMax := -1
+	for i := 0; i < sorted.NumPartitions(); i++ {
+		for _, v := range sorted.Partition(i) {
+			if v < prevMax {
+				t.Fatalf("partition %d breaks range contiguity", i)
+			}
+			if v > prevMax {
+				prevMax = v
+			}
+		}
+	}
+}
+
+func TestPartitionByNoDriverMaterialization(t *testing.T) {
+	// PartitionBy must not re-read the dataset: RecordsRead stays flat
+	// across the shuffle (the old implementation collected the whole
+	// RDD to the driver to size-sample it).
+	ctx := testCtx()
+	r := Parallelize(ctx, benchPairs(1000))
+	before := ctx.Snapshot()
+	_ = PartitionBy(r, NewHashPartitioner[string](4))
+	d := ctx.Snapshot().Diff(before)
+	if d.RecordsRead != 0 {
+		t.Fatalf("PartitionBy read %d records from source", d.RecordsRead)
+	}
+	if d.ShuffleRecords != 1000 || d.ShuffleBytes <= 0 {
+		t.Fatalf("shuffle metering = %d records / %d bytes", d.ShuffleRecords, d.ShuffleBytes)
+	}
+}
+
+func TestCoGroupMixedPartitionersStillCorrect(t *testing.T) {
+	// A range-partitioned side co-locates keys within itself but at
+	// different indexes than a hash-partitioned peer; the shuffle-skip
+	// must not fire, or keys split across output partitions.
+	ctx := testCtx()
+	mk := func(n int) []Pair[int, int] {
+		out := make([]Pair[int, int], n)
+		for i := range out {
+			out[i] = Pair[int, int]{i % 8, i}
+		}
+		return out
+	}
+	a := PartitionBy(ParallelizeN(ctx, mk(64), 4),
+		NewRangePartitioner([]int{1, 3, 5}, 4))
+	b := PartitionBy(ParallelizeN(ctx, mk(32), 4), NewHashPartitioner[int](4))
+	grouped := CoGroup(a, b).Collect()
+	seen := map[int]bool{}
+	for _, rec := range grouped {
+		if seen[rec.Key] {
+			t.Fatalf("key %d emitted more than once (sides not co-aligned)", rec.Key)
+		}
+		seen[rec.Key] = true
+		if len(rec.Value.A) != 8 || len(rec.Value.B) != 4 {
+			t.Fatalf("key %d grouped %d/%d values, want 8/4", rec.Key, len(rec.Value.A), len(rec.Value.B))
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("cogroup keys = %d, want 8", len(seen))
+	}
+}

@@ -1,0 +1,152 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func allocTestGraph() *rdf.Graph {
+	var ts []rdf.Triple
+	for i := 0; i < 64; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		ts = append(ts,
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/name"), O: rdf.NewLiteral(fmt.Sprintf("n%d", i))},
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/age"), O: rdf.NewTypedLiteral(fmt.Sprint(20+i%8), rdf.XSDInteger)},
+		)
+	}
+	return rdf.NewGraph(ts)
+}
+
+// Single-pattern evaluation must stay effectively allocation-free:
+// matched rows are bump-allocated from the environment's arena, so the
+// amortized heap cost of extending one binding row is a fraction of an
+// allocation (one chunk per 256 rows). A regression to per-candidate
+// cloning shows up here as n >= 1.
+func TestMatchPatternAllocs(t *testing.T) {
+	g := allocTestGraph()
+	q := MustParse(`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`)
+	env := newEvalEnv(q, g)
+	bgp, ok := q.BGPOf()
+	if !ok || len(bgp.Patterns) != 1 {
+		t.Fatal("expected a single-pattern BGP")
+	}
+	cp := env.compilePattern(bgp.Patterns[0])
+	row := env.emptyRow()
+	scratch := env.emptyRow()
+	out := make([]slotRow, 0, 128)
+
+	matches := env.matchPattern(cp, row, scratch, out[:0])
+	if len(matches) != 64 {
+		t.Fatalf("matchPattern returned %d rows, want 64", len(matches))
+	}
+	n := testing.AllocsPerRun(100, func() {
+		out = env.matchPattern(cp, row, scratch, out[:0])
+	})
+	if n >= 1 {
+		t.Fatalf("single-pattern matchPattern allocates %.2f times per evaluation, want amortized < 1", n)
+	}
+}
+
+// A bound-subject lookup through the public API must not copy the
+// graph index: the candidate slice is a zero-copy view and candidate
+// filtering happens in id space.
+func TestEvaluateBoundSubjectAllocs(t *testing.T) {
+	g := allocTestGraph()
+	q := MustParse(`SELECT ?p ?o WHERE { <http://ex/s9> ?p ?o }`)
+	// Warm the lazily built encoded view and stats.
+	if _, err := Evaluate(q, g); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		if _, err := Evaluate(q, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2 result rows decode to 2 small maps plus fixed per-query setup;
+	// anything near the old per-candidate map-churn regime (≈47) means
+	// the zero-copy path rotted.
+	if n > 30 {
+		t.Fatalf("bound-subject Evaluate allocates %.1f times per query, want <= 30", n)
+	}
+}
+
+// Concurrent Evaluate calls on a shared graph must be safe: the
+// lazily built encoded view and cached stats are filled under a lock.
+func TestEvaluateConcurrent(t *testing.T) {
+	g := allocTestGraph()
+	q := MustParse(`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n } ORDER BY ?n LIMIT 10`)
+	done := make(chan *Results, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			r, err := Evaluate(q, g)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- r
+		}()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if r := <-done; !r.Equal(first) {
+			t.Fatal("concurrent evaluations disagree")
+		}
+	}
+}
+
+// numericValue's alloc-free fast path must still admit the xsd:double
+// special lexical forms that strconv understands.
+func TestNumericValueSpecialForms(t *testing.T) {
+	for _, c := range []struct {
+		val  string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"-3.5", -3.5, true},
+		{".5", 0.5, true},
+		{"INF", 0, true},
+		{"-INF", 0, true},
+		{"NaN", 0, true},
+		{"abc", 0, false},
+		{"", 0, false},
+		{"12abc", 0, false},
+	} {
+		f, ok := numericValue(rdf.NewTypedLiteral(c.val, "http://www.w3.org/2001/XMLSchema#double"))
+		if ok != c.ok {
+			t.Fatalf("numericValue(%q) ok = %v, want %v", c.val, ok, c.ok)
+		}
+		if c.ok && c.val != "INF" && c.val != "-INF" && c.val != "NaN" && f != c.want {
+			t.Fatalf("numericValue(%q) = %v, want %v", c.val, f, c.want)
+		}
+	}
+	if f, ok := numericValue(rdf.NewTypedLiteral("INF", "http://www.w3.org/2001/XMLSchema#double")); !ok || f <= 0 {
+		t.Fatalf("INF = %v,%v; want +Inf", f, ok)
+	}
+	if f, ok := numericValue(rdf.NewTypedLiteral("-INF", "http://www.w3.org/2001/XMLSchema#double")); !ok || f >= 0 {
+		t.Fatalf("-INF = %v,%v; want -Inf", f, ok)
+	}
+}
+
+// Project's zero-copy reuse must not fire when the projection list
+// holds duplicate variables or a strict subset of the row's bindings.
+func TestProjectDuplicateVars(t *testing.T) {
+	x := rdf.NewIRI("http://ex/x")
+	y := rdf.NewLiteral("y")
+	r := &Results{
+		Vars: []Var{"x", "y"},
+		Rows: []Binding{{"x": x, "y": y}},
+	}
+	p := r.Project([]Var{"x", "x"})
+	if _, leaked := p.Rows[0]["y"]; leaked {
+		t.Fatal("duplicate-var projection leaked unprojected binding ?y")
+	}
+	if got := p.Rows[0]["x"]; got != x {
+		t.Fatalf("projected ?x = %v, want %v", got, x)
+	}
+	q := r.Project([]Var{"x"})
+	if _, leaked := q.Rows[0]["y"]; leaked {
+		t.Fatal("subset projection leaked unprojected binding ?y")
+	}
+}

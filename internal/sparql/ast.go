@@ -10,6 +10,7 @@ package sparql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/rdf"
@@ -314,8 +315,13 @@ func (c Comparison) EvalFilter(b Binding) bool {
 	if !ok {
 		return false
 	}
-	cmp := CompareTerms(l, r)
-	switch c.Op {
+	return cmpSatisfies(c.Op, CompareTerms(l, r))
+}
+
+// cmpSatisfies interprets a three-way comparison result under one of
+// the FILTER comparison operators.
+func cmpSatisfies(op string, cmp int) bool {
+	switch op {
 	case "=":
 		return cmp == 0
 	case "!=":
@@ -400,19 +406,23 @@ func CompareTerms(a, b rdf.Term) int {
 
 // numericValue extracts a float from a datatyped literal. Plain
 // (untyped) literals are simple strings and never numeric, matching
-// SPARQL's operator semantics.
+// SPARQL's operator semantics. This sits under every FILTER
+// comparison and ORDER BY key, so it must not allocate: obviously
+// non-numeric lexical forms are rejected before strconv runs (the
+// error strconv would build is a heap allocation).
 func numericValue(t rdf.Term) (float64, bool) {
-	if !t.IsLiteral() || t.Datatype == "" {
+	if !t.IsLiteral() || t.Datatype == "" || t.Value == "" {
 		return 0, false
 	}
-	var f float64
-	var tail string
-	n, err := fmt.Sscanf(t.Value, "%g%s", &f, &tail)
-	if err == nil && n == 2 {
+	switch c := t.Value[0]; {
+	case c >= '0' && c <= '9', c == '+', c == '-', c == '.':
+	case c == 'I', c == 'i', c == 'N', c == 'n': // INF / NaN spellings
+	default:
 		return 0, false
 	}
-	if n >= 1 {
-		return f, true
+	f, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
 	}
-	return 0, false
+	return f, true
 }

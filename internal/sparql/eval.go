@@ -2,22 +2,245 @@ package sparql
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rdf"
 )
+
+// The reference evaluator is slot-compiled: each query is compiled
+// once into a Var→slot table, and every partial solution is a
+// []rdf.TermID row indexed by slot (unboundID marking empty slots)
+// over the graph's dictionary-encoded triples. Joins, OPTIONALs, and
+// intra-pattern consistency checks compare 4-byte ids instead of
+// string-bearing Terms, and extending a solution copies one small
+// slice instead of cloning a map per candidate triple. BGPs are
+// reordered by estimated selectivity from rdf.Stats (the SPARQLGX
+// statistics) before evaluation. Ids are decoded back to Terms only
+// when the final solution sequence is materialized as Bindings.
+
+// unboundID marks an empty slot in a compiled solution row.
+const unboundID = ^rdf.TermID(0)
+
+// slotRow is one partial solution in id space: index i holds the id
+// bound to the query's i-th variable, or unboundID. Rows are immutable
+// once produced.
+type slotRow []rdf.TermID
 
 // Evaluate runs q over g with the reference evaluator: a direct,
 // centralized implementation of the SPARQL algebra. Every distributed
 // engine in internal/systems is tested against it.
 func Evaluate(q *Query, g *rdf.Graph) (*Results, error) {
-	rows, err := evalPattern(q.Where, g)
+	env := newEvalEnv(q, g)
+	rows, err := env.evalPattern(q.Where)
 	if err != nil {
 		return nil, err
 	}
-	if q.Form == FormDescribe {
-		return describeResources(q, rows, g), nil
+	// Plain SELECT and ASK run the whole modifier pipeline in id
+	// space and decode only the surviving rows. Aggregates, CONSTRUCT,
+	// and DESCRIBE need term values for every solution, so they decode
+	// first and share the engines' modifier tail.
+	if (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil {
+		return env.applyModifiers(q, rows), nil
 	}
-	return ApplySolutionModifiers(q, rows), nil
+	decoded := env.decodeRows(rows)
+	if q.Form == FormDescribe {
+		return describeResources(q, decoded, g), nil
+	}
+	return ApplySolutionModifiers(q, decoded), nil
+}
+
+// applyModifiers applies projection / DISTINCT / ORDER BY / OFFSET /
+// LIMIT over id-space rows, mirroring ApplySolutionModifiers exactly,
+// and decodes only the rows that survive.
+func (env *evalEnv) applyModifiers(q *Query, rows []slotRow) *Results {
+	if q.Form == FormAsk {
+		return &Results{IsAsk: true, Ask: len(rows) > 0}
+	}
+	vars := q.SelectedVars()
+	rows = env.projectRows(rows, vars)
+	if q.Distinct {
+		rows = env.distinctRows(rows)
+	}
+	if len(q.OrderBy) > 0 {
+		env.sortRows(rows, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Results{Vars: append([]Var{}, vars...), Rows: env.decodeRows(rows)}
+}
+
+// projectRows restricts rows to the selected variables by clearing
+// every other slot. When the projection keeps every compiled slot the
+// rows are returned as-is (no copy).
+func (env *evalEnv) projectRows(rows []slotRow, vars []Var) []slotRow {
+	keep := make([]bool, len(env.vars))
+	kept := 0
+	for _, v := range vars {
+		if s, ok := env.slots[v]; ok && !keep[s] {
+			keep[s] = true
+			kept++
+		}
+	}
+	if kept == len(env.vars) {
+		return rows
+	}
+	out := make([]slotRow, len(rows))
+	for i, row := range rows {
+		nr := env.newRow(row)
+		for s := range nr {
+			if !keep[s] {
+				nr[s] = unboundID
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// distinctRows deduplicates rows on their full slot vector. Ids are
+// injective over terms, so id equality is exactly the term equality
+// the map-based DISTINCT uses.
+func (env *evalEnv) distinctRows(rows []slotRow) []slotRow {
+	seen := make(map[string]bool, len(rows))
+	var kept []slotRow
+	buf := make([]byte, 0, 4*len(env.vars))
+	for _, row := range rows {
+		buf = buf[:0]
+		for _, id := range row {
+			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
+			kept = append(kept, row)
+		}
+	}
+	return kept
+}
+
+// sortRows orders rows in place by the ORDER BY keys, with the same
+// unbound-first/last and stability semantics as Results.SortRows.
+func (env *evalEnv) sortRows(rows []slotRow, keys []OrderKey) {
+	type keySlot struct {
+		slot int
+		asc  bool
+	}
+	ks := make([]keySlot, 0, len(keys))
+	for _, k := range keys {
+		if s, ok := env.slots[k.Var]; ok {
+			ks = append(ks, keySlot{s, k.Asc})
+		} else {
+			ks = append(ks, keySlot{-1, k.Asc})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range ks {
+			var ti, tj rdf.TermID = unboundID, unboundID
+			if k.slot >= 0 {
+				ti, tj = rows[i][k.slot], rows[j][k.slot]
+			}
+			if ti == unboundID && tj == unboundID {
+				continue
+			}
+			if ti == unboundID {
+				return k.asc
+			}
+			if tj == unboundID {
+				return !k.asc
+			}
+			c := CompareTerms(env.terms[ti], env.terms[tj])
+			if c == 0 {
+				continue
+			}
+			if k.asc {
+				return c < 0
+			}
+			return c > 0
+		}
+		return false
+	})
+}
+
+// evalEnv is the per-query compilation environment: the slot table,
+// the encoded graph view, and the dataset statistics driving join
+// ordering. Rows are bump-allocated from chunked arenas, so producing
+// a solution costs a copy, not a heap allocation.
+type evalEnv struct {
+	g     *rdf.Graph
+	view  *rdf.EncodedView
+	terms []rdf.Term // id→term snapshot for lock-free decoding
+	slots map[Var]int
+	vars  []Var // slot→var
+	stats rdf.Stats
+	arena []rdf.TermID // bump allocator for slot rows
+}
+
+// newRow bump-allocates a row and initializes it as a copy of src
+// (which may be shorter, e.g. empty). Rows handed out stay valid for
+// the whole evaluation; exhausted chunks are abandoned to the GC along
+// with the rows that reference them.
+func (env *evalEnv) newRow(src slotRow) slotRow {
+	w := len(env.vars)
+	if w == 0 {
+		return slotRow{}
+	}
+	if len(env.arena)+w > cap(env.arena) {
+		chunk := 256 * w
+		env.arena = make([]rdf.TermID, 0, chunk)
+	}
+	start := len(env.arena)
+	env.arena = env.arena[:start+w]
+	row := slotRow(env.arena[start : start+w : start+w])
+	copy(row, src)
+	for i := len(src); i < w; i++ {
+		row[i] = unboundID
+	}
+	return row
+}
+
+func newEvalEnv(q *Query, g *rdf.Graph) *evalEnv {
+	vars := q.Where.PatternVars()
+	slots := make(map[Var]int, len(vars))
+	for i, v := range vars {
+		slots[v] = i
+	}
+	view := g.Encoded()
+	return &evalEnv{
+		g:     g,
+		view:  view,
+		terms: view.Dict().Terms(),
+		slots: slots,
+		vars:  vars,
+		stats: g.Stats(),
+	}
+}
+
+func (env *evalEnv) emptyRow() slotRow { return env.newRow(nil) }
+
+// decodeRow materializes one id-space row as a Binding.
+func (env *evalEnv) decodeRow(row slotRow) Binding {
+	b := make(Binding, len(row))
+	for i, id := range row {
+		if id != unboundID {
+			b[env.vars[i]] = env.terms[id]
+		}
+	}
+	return b
+}
+
+func (env *evalEnv) decodeRows(rows []slotRow) []Binding {
+	out := make([]Binding, len(rows))
+	for i, row := range rows {
+		out[i] = env.decodeRow(row)
+	}
+	return out
 }
 
 // describeResources returns the description graph of a DESCRIBE query:
@@ -58,61 +281,61 @@ func describeResources(q *Query, rows []Binding, g *rdf.Graph) *Results {
 	return res
 }
 
-func evalPattern(p GraphPattern, g *rdf.Graph) ([]Binding, error) {
+func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 	switch n := p.(type) {
 	case BGP:
-		return evalBGP(n, g), nil
+		return env.evalBGP(n), nil
 	case Group:
-		rows := []Binding{{}}
+		rows := []slotRow{env.emptyRow()}
 		for _, part := range n.Parts {
-			sub, err := evalPattern(part, g)
+			sub, err := env.evalPattern(part)
 			if err != nil {
 				return nil, err
 			}
-			rows = joinBindings(rows, sub)
+			rows = env.joinRows(rows, sub)
 		}
 		return rows, nil
 	case Filter:
-		rows, err := evalPattern(n.Inner, g)
+		rows, err := env.evalPattern(n.Inner)
 		if err != nil {
 			return nil, err
 		}
-		var kept []Binding
-		for _, b := range rows {
-			if n.Cond.EvalFilter(b) {
-				kept = append(kept, b)
+		var kept []slotRow
+		for _, row := range rows {
+			if env.evalFilter(n.Cond, row) {
+				kept = append(kept, row)
 			}
 		}
 		return kept, nil
 	case Optional:
-		left, err := evalPattern(n.Left, g)
+		left, err := env.evalPattern(n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := evalPattern(n.Right, g)
+		right, err := env.evalPattern(n.Right)
 		if err != nil {
 			return nil, err
 		}
-		var out []Binding
+		var out []slotRow
 		for _, l := range left {
 			matched := false
 			for _, r := range right {
-				if l.Compatible(r) {
-					out = append(out, l.Merge(r))
+				if compatibleRows(l, r) {
+					out = append(out, env.mergeRows(l, r))
 					matched = true
 				}
 			}
 			if !matched {
-				out = append(out, l.Clone())
+				out = append(out, l)
 			}
 		}
 		return out, nil
 	case Union:
-		left, err := evalPattern(n.Left, g)
+		left, err := env.evalPattern(n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := evalPattern(n.Right, g)
+		right, err := env.evalPattern(n.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -122,16 +345,220 @@ func evalPattern(p GraphPattern, g *rdf.Graph) ([]Binding, error) {
 	}
 }
 
-// evalBGP evaluates a conjunction of triple patterns by iterated
-// selection and join, using the graph's indexes to pick candidates.
-func evalBGP(b BGP, g *rdf.Graph) []Binding {
-	rows := []Binding{{}}
-	for _, tp := range b.Patterns {
-		var next []Binding
-		for _, row := range rows {
-			for _, m := range matchPattern(tp, row, g) {
-				next = append(next, m)
+// compatibleRows reports whether two rows agree on every slot bound in
+// both (the SPARQL join condition, in id space).
+func compatibleRows(a, b slotRow) bool {
+	for i, v := range a {
+		if v != unboundID && b[i] != unboundID && b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRows returns the union of two compatible rows.
+func (env *evalEnv) mergeRows(a, b slotRow) slotRow {
+	out := env.newRow(a)
+	for i, v := range b {
+		if out[i] == unboundID {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// joinRows computes the SPARQL join of two solution sequences.
+func (env *evalEnv) joinRows(a, b []slotRow) []slotRow {
+	var out []slotRow
+	for _, x := range a {
+		for _, y := range b {
+			if compatibleRows(x, y) {
+				out = append(out, env.mergeRows(x, y))
 			}
+		}
+	}
+	return out
+}
+
+// evalFilter computes the effective boolean value of a FILTER over an
+// id-space row, decoding only the terms the expression touches. An
+// expression type the compiler does not know falls back to the
+// map-based FilterExpr API on a decoded row.
+func (env *evalEnv) evalFilter(e FilterExpr, row slotRow) bool {
+	switch n := e.(type) {
+	case Comparison:
+		l, ok := env.resolveOperand(n.L, row)
+		if !ok {
+			return false
+		}
+		r, ok := env.resolveOperand(n.R, row)
+		if !ok {
+			return false
+		}
+		return cmpSatisfies(n.Op, CompareTerms(l, r))
+	case LogicalAnd:
+		return env.evalFilter(n.L, row) && env.evalFilter(n.R, row)
+	case LogicalOr:
+		return env.evalFilter(n.L, row) || env.evalFilter(n.R, row)
+	case LogicalNot:
+		return !env.evalFilter(n.E, row)
+	case Bound:
+		slot, ok := env.slots[n.Var]
+		return ok && row[slot] != unboundID
+	default:
+		return e.EvalFilter(env.decodeRow(row))
+	}
+}
+
+func (env *evalEnv) resolveOperand(o Operand, row slotRow) (rdf.Term, bool) {
+	if !o.IsVar {
+		return o.Term, true
+	}
+	slot, ok := env.slots[o.Var]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	id := row[slot]
+	if id == unboundID {
+		return rdf.Term{}, false
+	}
+	return env.terms[id], true
+}
+
+// cElem is one compiled triple-pattern position: either a slot index
+// (variables) or a pre-encoded constant id. A constant absent from the
+// dictionary (ok=false) cannot match any triple.
+type cElem struct {
+	isVar bool
+	slot  int
+	id    rdf.TermID
+	ok    bool
+}
+
+// cPattern is one compiled triple pattern with its selectivity
+// estimate.
+type cPattern struct {
+	s, p, o cElem
+	est     int
+	slots   []int // distinct variable slots, for join-ordering
+}
+
+func (env *evalEnv) compileElem(e TPElem) cElem {
+	if e.IsVar {
+		return cElem{isVar: true, slot: env.slots[e.Var]}
+	}
+	id, ok := env.view.Dict().Lookup(e.Term)
+	return cElem{id: id, ok: ok}
+}
+
+// compilePattern encodes the pattern's constants and estimates its
+// result cardinality from the dataset statistics: the tightest bound
+// among the per-subject, per-object, and per-predicate (SPARQLGX
+// PredicateCounts) index cardinalities, or the triple count when fully
+// unbound.
+func (env *evalEnv) compilePattern(tp TriplePattern) cPattern {
+	cp := cPattern{
+		s: env.compileElem(tp.S),
+		p: env.compileElem(tp.P),
+		o: env.compileElem(tp.O),
+	}
+	for _, e := range [3]cElem{cp.s, cp.p, cp.o} {
+		if !e.isVar {
+			continue
+		}
+		dup := false
+		for _, s := range cp.slots {
+			if s == e.slot {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cp.slots = append(cp.slots, e.slot)
+		}
+	}
+	est := env.stats.Triples
+	switch {
+	case !cp.s.isVar && !cp.s.ok, !cp.p.isVar && !cp.p.ok, !cp.o.isVar && !cp.o.ok:
+		est = 0
+	default:
+		if !cp.s.isVar {
+			if n := len(env.view.WithSubject(cp.s.id)); n < est {
+				est = n
+			}
+		}
+		if !cp.o.isVar {
+			if n := len(env.view.WithObject(cp.o.id)); n < est {
+				est = n
+			}
+		}
+		if !cp.p.isVar {
+			if n := env.stats.PredicateCounts[tp.P.Term.Value]; n < est {
+				est = n
+			}
+		}
+	}
+	cp.est = est
+	return cp
+}
+
+// orderPatterns reorders compiled patterns greedily by estimated
+// selectivity: start from the most selective pattern, then repeatedly
+// take the most selective pattern connected to an already-bound
+// variable (avoiding Cartesian intermediates), falling back to the
+// global minimum when no remaining pattern connects. Ties keep the
+// original order, so fully-unselective queries evaluate as written.
+func orderPatterns(cps []cPattern, nslots int) []cPattern {
+	n := len(cps)
+	if n <= 1 {
+		return cps
+	}
+	used := make([]bool, n)
+	bound := make([]bool, nslots)
+	out := make([]cPattern, 0, n)
+	for len(out) < n {
+		best, bestConnected := -1, false
+		for i, cp := range cps {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for _, s := range cp.slots {
+				if bound[s] {
+					connected = true
+					break
+				}
+			}
+			if best == -1 ||
+				(connected && !bestConnected) ||
+				(connected == bestConnected && cp.est < cps[best].est) {
+				best, bestConnected = i, connected
+			}
+		}
+		used[best] = true
+		for _, s := range cps[best].slots {
+			bound[s] = true
+		}
+		out = append(out, cps[best])
+	}
+	return out
+}
+
+// evalBGP evaluates a conjunction of triple patterns by iterated
+// selection and join over the encoded indexes, visiting patterns in
+// selectivity order.
+func (env *evalEnv) evalBGP(b BGP) []slotRow {
+	cps := make([]cPattern, len(b.Patterns))
+	for i, tp := range b.Patterns {
+		cps[i] = env.compilePattern(tp)
+	}
+	cps = orderPatterns(cps, len(env.vars))
+	rows := []slotRow{env.emptyRow()}
+	scratch := env.emptyRow()
+	for _, cp := range cps {
+		next := make([]slotRow, 0, len(rows))
+		for _, row := range rows {
+			next = env.matchPattern(cp, row, scratch, next)
 		}
 		rows = next
 		if len(rows) == 0 {
@@ -141,71 +568,71 @@ func evalBGP(b BGP, g *rdf.Graph) []Binding {
 	return rows
 }
 
-// matchPattern extends binding row with every triple matching tp.
-func matchPattern(tp TriplePattern, row Binding, g *rdf.Graph) []Binding {
-	// Substitute already-bound variables.
-	resolved := tp
-	for i, e := range []*TPElem{&resolved.S, &resolved.P, &resolved.O} {
-		_ = i
-		if e.IsVar {
-			if t, ok := row[e.Var]; ok {
-				*e = TermElem(t)
-			}
-		}
+// elemID resolves a compiled element under a row: constants yield
+// their id, variables their current binding (bound=false when the slot
+// is empty). miss is true for constants absent from the dictionary.
+func elemID(e cElem, row slotRow) (id rdf.TermID, bound, miss bool) {
+	if !e.isVar {
+		return e.id, true, !e.ok
 	}
-	// Choose the most selective index.
-	var candidates []rdf.Triple
-	switch {
-	case !resolved.S.IsVar:
-		candidates = g.WithSubject(resolved.S.Term)
-	case !resolved.O.IsVar:
-		candidates = g.WithObject(resolved.O.Term)
-	case !resolved.P.IsVar:
-		candidates = g.WithPredicate(resolved.P.Term.Value)
-	default:
-		candidates = g.Triples()
-	}
-	var out []Binding
-	for _, t := range candidates {
-		if !resolved.Matches(t) {
-			continue
-		}
-		nb := row.Clone()
-		ok := true
-		bind := func(e TPElem, val rdf.Term) {
-			if !e.IsVar {
-				return
-			}
-			if cur, bound := nb[e.Var]; bound {
-				if cur != val {
-					ok = false
-				}
-				return
-			}
-			nb[e.Var] = val
-		}
-		bind(tp.S, t.S)
-		if ok {
-			bind(tp.P, t.P)
-		}
-		if ok {
-			bind(tp.O, t.O)
-		}
-		if ok {
-			out = append(out, nb)
-		}
-	}
-	return out
+	id = row[e.slot]
+	return id, id != unboundID, false
 }
 
-// joinBindings computes the SPARQL join of two solution sequences.
-func joinBindings(a, b []Binding) []Binding {
-	var out []Binding
-	for _, x := range a {
-		for _, y := range b {
-			if x.Compatible(y) {
-				out = append(out, x.Merge(y))
+// matchPattern appends to out every extension of row by a triple
+// matching cp. scratch must be a row-sized buffer; it is clobbered.
+func (env *evalEnv) matchPattern(cp cPattern, row slotRow, scratch slotRow, out []slotRow) []slotRow {
+	sID, sBound, sMiss := elemID(cp.s, row)
+	pID, pBound, pMiss := elemID(cp.p, row)
+	oID, oBound, oMiss := elemID(cp.o, row)
+	if sMiss || pMiss || oMiss {
+		return out
+	}
+	// Scan the smallest applicable index.
+	candidates := env.view.Triples()
+	if sBound {
+		candidates = env.view.WithSubject(sID)
+	}
+	if oBound {
+		if byO := env.view.WithObject(oID); len(byO) < len(candidates) {
+			candidates = byO
+		}
+	}
+	if pBound {
+		if byP := env.view.WithPredicate(pID); len(byP) < len(candidates) {
+			candidates = byP
+		}
+	}
+	for _, t := range candidates {
+		if sBound && t.S != sID {
+			continue
+		}
+		if pBound && t.P != pID {
+			continue
+		}
+		if oBound && t.O != oID {
+			continue
+		}
+		// Bind the variable positions, checking consistency for
+		// variables repeated within the pattern (e.g. ?x ?p ?x).
+		copy(scratch, row)
+		ok := true
+		for _, bind := range [3]struct {
+			e  cElem
+			id rdf.TermID
+		}{{cp.s, t.S}, {cp.p, t.P}, {cp.o, t.O}} {
+			if !bind.e.isVar {
+				continue
 			}
+			if cur := scratch[bind.e.slot]; cur == unboundID {
+				scratch[bind.e.slot] = bind.id
+			} else if cur != bind.id {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, env.newRow(scratch))
 		}
 	}
 	return out

@@ -61,10 +61,39 @@ type Results struct {
 func (r *Results) Len() int { return len(r.Rows) }
 
 // Project restricts rows to the given variables (used by engines after
-// evaluating the full pattern).
+// evaluating the full pattern). Rows already restricted to exactly the
+// projected variables are reused without copying.
 func (r *Results) Project(vars []Var) *Results {
 	rows := make([]Binding, len(r.Rows))
 	for i, b := range r.Rows {
+		// Reusable only when b's keys and vars are equal as sets (vars
+		// may hold duplicates, so length equality alone is not enough).
+		reuse := true
+		for v := range b {
+			found := false
+			for _, pv := range vars {
+				if pv == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				reuse = false
+				break
+			}
+		}
+		if reuse {
+			for _, v := range vars {
+				if _, ok := b[v]; !ok {
+					reuse = false
+					break
+				}
+			}
+		}
+		if reuse {
+			rows[i] = b
+			continue
+		}
 		nb := make(Binding, len(vars))
 		for _, v := range vars {
 			if t, ok := b[v]; ok {
