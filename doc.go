@@ -19,6 +19,17 @@
 //     sides that are already key-partitioned with the matching
 //     partition count, and SortBy performs a range-partitioned merge:
 //     sampled splits, one scatter shuffle, parallel per-range sorts.
+//     Aggregating shuffles go through CombineByKey's combiner-aware
+//     scatter: values fold into per-destination combiner maps while
+//     records are being placed, so exactly one combined record per
+//     (source partition, key) crosses the shuffle, combined records
+//     are materialized once at their destination, and destinations
+//     merge source buckets in source order (deterministic key order).
+//     ReduceByKey, CountByKey, Distinct, and the DataFrame aggregates
+//     all ride this path; GroupByKey deliberately keeps shuffling the
+//     raw dataset (the survey's reduceByKey-vs-groupByKey contrast)
+//     but folds scattered buckets straight into groups with no merged
+//     intermediate.
 //
 //   - The reference evaluator (internal/sparql over internal/rdf).
 //     Queries are slot-compiled: a Var→slot table is built once per
@@ -30,11 +41,19 @@
 //     (projection, DISTINCT, ORDER BY, LIMIT, ASK) run in id space so
 //     only surviving rows are decoded back to terms. Graph lookups
 //     (WithSubject/WithPredicate/WithObject) return zero-copy index
-//     views; allocation-regression tests pin both invariants.
+//     views. Joins (Group folds, OPTIONAL) run as id-space hash joins:
+//     the join key is the slots bound in every row of both sides, the
+//     smaller side is hashed on it, candidates are verified with the
+//     full compatibility check, and a counting pass pre-sizes the
+//     output and the arena so a join allocates O(1) beyond its result
+//     rows. Sides sharing no slots (cartesian) or only partially bound
+//     on the key fall back to the nested loop, which stays the
+//     semantic baseline. Allocation-regression tests pin all of these
+//     invariants.
 //
 // Run the micro-benchmarks tracking these paths with
 //
-//	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy' -benchmem ./...
+//	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...
 //
 // and the full assessment suite with go test -bench . -benchmem.
 //

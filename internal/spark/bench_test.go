@@ -56,6 +56,25 @@ func BenchmarkCoGroupCoPartitioned(b *testing.B) {
 	}
 }
 
+// BenchmarkReduceByKey tracks the combiner-aware scatter: values fold
+// into per-destination combiner maps while being placed, so the only
+// records crossing the shuffle are the combined ones (reported as
+// shuffleRec/op, bounded by distinct keys per source partition) and the
+// old intermediate pre-combined RDD plus its second reduce pass are
+// gone.
+func BenchmarkReduceByKey(b *testing.B) {
+	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
+	r := Parallelize(ctx, benchPairs(10000))
+	b.ReportAllocs()
+	before := ctx.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ReduceByKey(r, func(a, b int) int { return a + b })
+	}
+	d := ctx.Snapshot().Diff(before)
+	b.ReportMetric(float64(d.ShuffleRecords)/float64(b.N), "shuffleRec/op")
+}
+
 func BenchmarkSortBy(b *testing.B) {
 	ctx := NewContext(Config{Parallelism: 4, Executors: 2, MaxConcurrency: 8})
 	data := make([]int, 10000)

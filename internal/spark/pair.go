@@ -73,86 +73,230 @@ func coPartitionedWith[K comparable, V any](r *RDD[Pair[K, V]], p HashPartitione
 // shuffle for that side (Spark's "known partitioner" optimization).
 func IsKeyPartitioned[K comparable, V any](r *RDD[Pair[K, V]]) bool { return r.keyedHint }
 
-// ReduceByKey merges values per key with the associative function f,
-// like PairRDDFunctions.reduceByKey. Map-side combining happens first, so
-// only one record per (partition, key) crosses the shuffle — the
-// accounting reflects that.
-func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V) *RDD[Pair[K, V]] {
-	// Map-side combine.
-	combined := make([][]Pair[K, V], len(r.parts))
-	r.ctx.runTasks(len(r.parts), func(i int) {
-		m := make(map[K]V)
-		order := make([]K, 0)
-		for _, rec := range r.parts[i] {
-			if cur, ok := m[rec.Key]; ok {
-				m[rec.Key] = f(cur, rec.Value)
-			} else {
-				m[rec.Key] = rec.Value
-				order = append(order, rec.Key)
-			}
-		}
-		part := make([]Pair[K, V], 0, len(order))
-		for _, k := range order {
-			part = append(part, Pair[K, V]{k, m[k]})
-		}
-		combined[i] = part
-	})
-	pre := fromParts(r.ctx, combined, r.partDesc)
+// combineBucket is one per-destination combiner map built during the
+// scatter of CombineByKey: the fold happens while records are being
+// placed, so only combined records ever exist on the reduce side. The
+// insertion order is kept so output ordering stays deterministic.
+type combineBucket[K comparable, C any] struct {
+	m     map[K]C
+	order []K
+}
 
-	// Shuffle combined records, then reduce within each partition.
-	shuffled := PartitionBy(pre, NewHashPartitioner[K](len(r.parts)))
-	out := make([][]Pair[K, V], len(shuffled.parts))
-	r.ctx.runTasks(len(shuffled.parts), func(i int) {
-		m := make(map[K]V)
-		order := make([]K, 0)
-		for _, rec := range shuffled.parts[i] {
-			if cur, ok := m[rec.Key]; ok {
-				m[rec.Key] = f(cur, rec.Value)
+// CombineByKey is the general aggregate-by-key operator, like
+// PairRDDFunctions.combineByKey: createCombiner seeds a combiner from a
+// key's first value, mergeValue folds further values into it map-side,
+// and mergeCombiners merges the per-source combiners reduce-side. The
+// scatter step is combiner-aware — each source task folds its records
+// straight into per-destination combiner maps while placing them, so
+// exactly one combined record per (source partition, key) crosses the
+// shuffle and combined records are materialized once, at their
+// destination. There is no intermediate pre-combined RDD and no second
+// full reduce pass, and a side already hash-partitioned with the
+// matching partition count folds in place with no shuffle at all.
+// Output ordering is deterministic: destinations merge source buckets
+// in source order, keys appear in first-seen order.
+func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C) *RDD[Pair[K, C]] {
+	n := len(r.parts)
+	if n < 1 {
+		n = 1
+	}
+	p := NewHashPartitioner[K](n)
+	// A side already hash-placed like p has every key on its final
+	// partition: fold in place, no shuffle — Spark's "known partitioner"
+	// optimization, same as Join/CoGroup.
+	if coPartitionedWith(r, p) {
+		out := make([][]Pair[K, C], len(r.parts))
+		r.ctx.runTasks(len(r.parts), func(i int) {
+			if len(r.parts[i]) == 0 {
+				return
+			}
+			m := make(map[K]C, len(r.parts[i]))
+			order := make([]K, 0, len(r.parts[i]))
+			for _, rec := range r.parts[i] {
+				if c, ok := m[rec.Key]; ok {
+					m[rec.Key] = mergeValue(c, rec.Value)
+				} else {
+					m[rec.Key] = createCombiner(rec.Value)
+					order = append(order, rec.Key)
+				}
+			}
+			part := make([]Pair[K, C], 0, len(order))
+			for _, k := range order {
+				part = append(part, Pair[K, C]{k, m[k]})
+			}
+			out[i] = part
+		})
+		res := fromParts(r.ctx, out, "hash")
+		res.keyedHint = true
+		res.placedBy = r.placedBy
+		return res
+	}
+	buckets := make([][]combineBucket[K, C], len(r.parts))
+	r.ctx.runTasks(len(r.parts), func(i int) {
+		local := make([]combineBucket[K, C], n)
+		for _, rec := range r.parts[i] {
+			b := &local[p.Partition(rec.Key)]
+			if b.m == nil {
+				b.m = make(map[K]C)
+			}
+			if c, ok := b.m[rec.Key]; ok {
+				b.m[rec.Key] = mergeValue(c, rec.Value)
 			} else {
-				m[rec.Key] = rec.Value
-				order = append(order, rec.Key)
+				b.m[rec.Key] = createCombiner(rec.Value)
+				b.order = append(b.order, rec.Key)
 			}
 		}
-		part := make([]Pair[K, V], 0, len(order))
-		for _, k := range order {
-			part = append(part, Pair[K, V]{k, m[k]})
+		buckets[i] = local
+	})
+
+	// Meter the shuffle: the records crossing it are the combined ones.
+	// Sample a few from the first and last non-empty buckets for the
+	// byte estimate (the combined records live only in the combiner
+	// maps, so the sampling walks those instead of partitions).
+	total := 0
+	for _, local := range buckets {
+		for _, b := range local {
+			total += len(b.order)
 		}
-		out[i] = part
+	}
+	var samples []Pair[K, C]
+	sampleFrom := func(b combineBucket[K, C], fromEnd bool) {
+		k := len(b.order)
+		if k > 3 {
+			k = 3
+		}
+		keys := b.order[:k]
+		if fromEnd {
+			keys = b.order[len(b.order)-k:]
+		}
+		for _, key := range keys {
+			samples = append(samples, Pair[K, C]{key, b.m[key]})
+		}
+	}
+sampleFirst:
+	for _, local := range buckets {
+		for _, b := range local {
+			if len(b.order) > 0 {
+				sampleFrom(b, false)
+				break sampleFirst
+			}
+		}
+	}
+sampleLast:
+	for i := len(buckets) - 1; i >= 0; i-- {
+		for j := len(buckets[i]) - 1; j >= 0; j-- {
+			if b := buckets[i][j]; len(b.order) > 0 {
+				sampleFrom(b, true)
+				break sampleLast
+			}
+		}
+	}
+	r.ctx.addShuffle(int64(total), estimateBytesFromSamples(samples, total))
+
+	// Reduce side: merge the per-source combiners in source order.
+	out := make([][]Pair[K, C], n)
+	r.ctx.runTasks(n, func(dst int) {
+		size := 0
+		for src := range buckets {
+			size += len(buckets[src][dst].order)
+		}
+		if size == 0 {
+			return
+		}
+		part := make([]Pair[K, C], 0, size)
+		idx := make(map[K]int32, size)
+		for src := range buckets {
+			b := buckets[src][dst]
+			for _, k := range b.order {
+				if j, ok := idx[k]; ok {
+					part[j].Value = mergeCombiners(part[j].Value, b.m[k])
+				} else {
+					idx[k] = int32(len(part))
+					part = append(part, Pair[K, C]{k, b.m[k]})
+				}
+			}
+		}
+		out[dst] = part
 	})
 	res := fromParts(r.ctx, out, "hash")
 	res.keyedHint = true
-	res.placedBy = shuffled.placedBy
+	res.placedBy = p
 	return res
 }
 
+// ReduceByKey merges values per key with the associative function f,
+// like PairRDDFunctions.reduceByKey. It is CombineByKey with the value
+// type as its own combiner: map-side combining happens inside the
+// scatter, so only one record per (partition, key) crosses the shuffle
+// — the accounting reflects that.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V) *RDD[Pair[K, V]] {
+	return CombineByKey(r, func(v V) V { return v }, f, f)
+}
+
 // GroupByKey collects all values per key, like
-// PairRDDFunctions.groupByKey. No map-side combine: the full dataset is
-// shuffled, which is exactly why the hybrid study prefers reduceByKey.
+// PairRDDFunctions.groupByKey. No map-side combine: the full dataset
+// crosses the shuffle, which is exactly why the hybrid study prefers
+// reduceByKey. The reduce side folds the scattered buckets straight
+// into the grouped output, never materializing merged intermediate
+// partitions; a side that is already key-partitioned skips the shuffle
+// entirely and groups in place.
 func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[Pair[K, []V]] {
-	shuffled := r
-	if !r.keyedHint {
-		shuffled = PartitionBy(r, NewHashPartitioner[K](len(r.parts)))
-	}
-	out := make([][]Pair[K, []V], len(shuffled.parts))
-	r.ctx.runTasks(len(shuffled.parts), func(i int) {
-		m := make(map[K][]V)
-		order := make([]K, 0)
-		for _, rec := range shuffled.parts[i] {
-			if _, ok := m[rec.Key]; !ok {
-				order = append(order, rec.Key)
+	if r.keyedHint {
+		out := make([][]Pair[K, []V], len(r.parts))
+		r.ctx.runTasks(len(r.parts), func(i int) {
+			if len(r.parts[i]) == 0 {
+				return
 			}
-			m[rec.Key] = append(m[rec.Key], rec.Value)
+			idx := make(map[K]int32, len(r.parts[i]))
+			out[i] = groupRecords(nil, idx, r.parts[i])
+		})
+		res := fromParts(r.ctx, out, "hash")
+		res.keyedHint = true
+		res.placedBy = r.placedBy
+		return res
+	}
+	n := len(r.parts)
+	if n < 1 {
+		n = 1
+	}
+	p := NewHashPartitioner[K](n)
+	buckets, total := scatterBuckets(r.ctx, r.parts, n, func(rec Pair[K, V]) int { return p.Partition(rec.Key) })
+	r.ctx.addShuffle(int64(total), estimateShuffleBytes(r.parts, total))
+	out := make([][]Pair[K, []V], n)
+	r.ctx.runTasks(n, func(dst int) {
+		size := 0
+		for src := range buckets {
+			size += len(buckets[src][dst])
 		}
-		part := make([]Pair[K, []V], 0, len(order))
-		for _, k := range order {
-			part = append(part, Pair[K, []V]{k, m[k]})
+		if size == 0 {
+			return
 		}
-		out[i] = part
+		var part []Pair[K, []V]
+		idx := make(map[K]int32, size)
+		for src := range buckets {
+			part = groupRecords(part, idx, buckets[src][dst])
+		}
+		out[dst] = part
 	})
 	res := fromParts(r.ctx, out, "hash")
 	res.keyedHint = true
-	res.placedBy = shuffled.placedBy
+	res.placedBy = p
 	return res
+}
+
+// groupRecords folds records into the grouped accumulator, keeping keys
+// in first-seen order; idx maps each accumulated key to its position
+// and is maintained across calls.
+func groupRecords[K comparable, V any](part []Pair[K, []V], idx map[K]int32, recs []Pair[K, V]) []Pair[K, []V] {
+	for _, rec := range recs {
+		if j, ok := idx[rec.Key]; ok {
+			part[j].Value = append(part[j].Value, rec.Value)
+		} else {
+			idx[rec.Key] = int32(len(part))
+			part = append(part, Pair[K, []V]{rec.Key, []V{rec.Value}})
+		}
+	}
+	return part
 }
 
 // Join computes the inner equi-join of two pair RDDs with a partitioned
@@ -318,11 +462,16 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]]) *RD
 	return res
 }
 
-// CountByKey returns a map from key to occurrence count, computed with a
-// reduceByKey (so it is metered like one).
+// CountByKey returns a map from key to occurrence count, computed with
+// a combineByKey whose combiner is the running count (so it is metered
+// like a reduceByKey: one combined record per partition and key crosses
+// the shuffle, without the intermediate ones-RDD of the old
+// MapValues+ReduceByKey pipeline).
 func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) map[K]int {
-	ones := MapValues(r, func(V) int { return 1 })
-	counts := ReduceByKey(ones, func(a, b int) int { return a + b })
+	counts := CombineByKey(r,
+		func(V) int { return 1 },
+		func(c int, _ V) int { return c + 1 },
+		func(a, b int) int { return a + b })
 	out := make(map[K]int)
 	for _, p := range counts.Collect() {
 		out[p.Key] = p.Value

@@ -217,12 +217,14 @@ func SortBy[T any, K Ordered](r *RDD[T], key func(T) K) *RDD[T] {
 	return fromParts(r.ctx, out, "range")
 }
 
-// scatterMerge is the shared shuffle mechanic under PartitionBy and
-// SortBy: one task per source partition places each record into one of
-// m destination buckets, then one task per destination merges its
-// buckets in source order (keeping placement deterministic and merges
-// stable). Returns the merged partitions and the record count.
-func scatterMerge[T any](ctx *Context, parts [][]T, m int, place func(T) int) ([][]T, int) {
+// scatterBuckets is the map side of the shuffle: one task per source
+// partition places each record into one of m destination buckets.
+// Returns the per-source bucket matrix (indexed [source][destination])
+// and the record count. Consumers that need plain merged partitions go
+// through scatterMerge; consumers that aggregate (GroupByKey's
+// reduce-side fold) read the buckets directly and never materialize the
+// merged intermediate.
+func scatterBuckets[T any](ctx *Context, parts [][]T, m int, place func(T) int) ([][][]T, int) {
 	buckets := make([][][]T, len(parts))
 	ctx.runTasks(len(parts), func(i int) {
 		local := make([][]T, m)
@@ -238,6 +240,16 @@ func scatterMerge[T any](ctx *Context, parts [][]T, m int, place func(T) int) ([
 			total += len(bucket)
 		}
 	}
+	return buckets, total
+}
+
+// scatterMerge is the shared shuffle mechanic under PartitionBy and
+// SortBy: scatterBuckets on the map side, then one task per destination
+// merges its buckets in source order (keeping placement deterministic
+// and merges stable). Returns the merged partitions and the record
+// count.
+func scatterMerge[T any](ctx *Context, parts [][]T, m int, place func(T) int) ([][]T, int) {
+	buckets, total := scatterBuckets(ctx, parts, m, place)
 	out := make([][]T, m)
 	ctx.runTasks(m, func(dst int) {
 		size := 0

@@ -12,8 +12,7 @@ func estimateShuffleBytes[T any](parts [][]T, total int) int64 {
 	if total == 0 {
 		return 0
 	}
-	var sum int64
-	var n int64
+	var samples []T
 	sample := func(part []T, fromEnd bool) {
 		k := len(part)
 		if k > 3 {
@@ -24,8 +23,7 @@ func estimateShuffleBytes[T any](parts [][]T, total int) int64 {
 			if fromEnd {
 				j = len(part) - 1 - i
 			}
-			sum += approxSize(reflect.ValueOf(part[j]), 0)
-			n++
+			samples = append(samples, part[j])
 		}
 	}
 	for _, part := range parts {
@@ -40,8 +38,24 @@ func estimateShuffleBytes[T any](parts [][]T, total int) int64 {
 			break
 		}
 	}
+	return estimateBytesFromSamples(samples, total)
+}
+
+// estimateBytesFromSamples sizes a shuffle of total records from a
+// handful of representative records. CombineByKey uses it directly:
+// its combined records live in per-destination combiner maps during the
+// scatter, never in boundary partitions estimateShuffleBytes could
+// walk, so the combiner scatter hands over samples it drew itself.
+func estimateBytesFromSamples[T any](samples []T, total int) int64 {
+	if total == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range samples {
+		sum += approxSize(reflect.ValueOf(s), 0)
+	}
 	per := int64(1)
-	if n > 0 {
+	if n := int64(len(samples)); n > 0 {
 		per = sum / n
 	}
 	if per < 1 {

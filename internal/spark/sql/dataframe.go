@@ -396,44 +396,75 @@ func (d *DataFrame) Aggregate(groupCols []string, fn AggFunc, col string) (*Data
 		numeric    bool
 		minV, maxV any
 	}
-	keyed := spark.KeyBy(d.rdd, func(r Row) string { return rowKeyCols(r, gi) })
-	grouped := spark.GroupByKey(keyed)
-	schema := append(Schema{}, groupCols...)
-	schema = append(schema, fmt.Sprintf("%s(%s)", fn, col))
-	out := spark.Map(grouped, func(p spark.Pair[string, []Row]) Row {
-		a := acc{numeric: true}
-		for _, r := range p.Value {
-			if a.group == nil {
-				a.group = make(Row, len(gi))
-				for i, j := range gi {
-					a.group[i] = r[j]
-				}
-			}
-			if vi < 0 {
-				a.count++
-				continue
-			}
-			v := r[vi]
-			if v == nil {
-				continue
-			}
-			a.count++
-			if f, ok := toFloat(v); ok {
-				a.sum += f
-			} else {
-				a.numeric = false
-			}
-			if a.minV == nil {
-				a.minV, a.maxV = v, v
-			} else {
-				if c, ok := Compare(v, a.minV); ok && c < 0 {
-					a.minV = v
-				}
-				if c, ok := Compare(v, a.maxV); ok && c > 0 {
-					a.maxV = v
-				}
+	foldRow := func(a acc, r Row) acc {
+		if a.group == nil {
+			a.group = make(Row, len(gi))
+			for i, j := range gi {
+				a.group[i] = r[j]
 			}
 		}
+		if vi < 0 {
+			a.count++
+			return a
+		}
+		v := r[vi]
+		if v == nil {
+			return a
+		}
+		a.count++
+		if f, ok := toFloat(v); ok {
+			a.sum += f
+		} else {
+			a.numeric = false
+		}
+		if a.minV == nil {
+			a.minV, a.maxV = v, v
+		} else {
+			if c, ok := Compare(v, a.minV); ok && c < 0 {
+				a.minV = v
+			}
+			if c, ok := Compare(v, a.maxV); ok && c > 0 {
+				a.maxV = v
+			}
+		}
+		return a
+	}
+	mergeAcc := func(a, b acc) acc {
+		if a.group == nil {
+			a.group = b.group
+		}
+		a.count += b.count
+		a.sum += b.sum
+		a.numeric = a.numeric && b.numeric
+		if a.minV == nil {
+			a.minV = b.minV
+		} else if b.minV != nil {
+			if c, ok := Compare(b.minV, a.minV); ok && c < 0 {
+				a.minV = b.minV
+			}
+		}
+		if a.maxV == nil {
+			a.maxV = b.maxV
+		} else if b.maxV != nil {
+			if c, ok := Compare(b.maxV, a.maxV); ok && c > 0 {
+				a.maxV = b.maxV
+			}
+		}
+		return a
+	}
+	// Aggregation runs as a combineByKey: each group's accumulator is
+	// folded map-side during the combiner scatter, so only one combined
+	// record per (partition, group) crosses the shuffle — the grouped
+	// value lists of the old groupByKey pipeline are never materialized.
+	keyed := spark.KeyBy(d.rdd, func(r Row) string { return rowKeyCols(r, gi) })
+	combined := spark.CombineByKey(keyed,
+		func(r Row) acc { return foldRow(acc{numeric: true}, r) },
+		foldRow,
+		mergeAcc)
+	schema := append(Schema{}, groupCols...)
+	schema = append(schema, fmt.Sprintf("%s(%s)", fn, col))
+	out := spark.Map(combined, func(p spark.Pair[string, acc]) Row {
+		a := p.Value
 		row := append(Row{}, a.group...)
 		switch fn {
 		case AggCount:

@@ -72,6 +72,30 @@ func TestEvaluateBoundSubjectAllocs(t *testing.T) {
 	}
 }
 
+// The hash-join engine must allocate O(1) on top of the output rows:
+// the counting pass sizes the output slice and the arena before the
+// emit pass runs, while the nested-loop baseline grows both
+// incrementally. The ≥5× gap is the PR 2 acceptance bar; a regression
+// to incremental growth (or a fallback that silently always fires)
+// shows up here as the ratio collapsing.
+func TestHashJoinAllocsVsNestedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic nested-loop baseline")
+	}
+	g := joinTestGraph(benchJoinRows)
+	env, names, ages := joinSides(t, g)
+	hash := testing.AllocsPerRun(2, func() { _ = env.joinRows(names, ages) })
+	nested := testing.AllocsPerRun(2, func() { _ = env.nestedJoinRows(names, ages) })
+	if hash*5 > nested {
+		t.Fatalf("hash join allocates %.1f/run vs nested %.1f/run, want >= 5x fewer", hash, nested)
+	}
+	hashOpt := testing.AllocsPerRun(2, func() { _ = env.optionalRows(names, ages) })
+	nestedOpt := testing.AllocsPerRun(2, func() { _ = env.nestedOptionalRows(names, ages) })
+	if hashOpt*5 > nestedOpt {
+		t.Fatalf("hash optional allocates %.1f/run vs nested %.1f/run, want >= 5x fewer", hashOpt, nestedOpt)
+	}
+}
+
 // Concurrent Evaluate calls on a shared graph must be safe: the
 // lazily built encoded view and cached stats are filled under a lock.
 func TestEvaluateConcurrent(t *testing.T) {

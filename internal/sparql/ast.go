@@ -277,6 +277,15 @@ type FilterExpr interface {
 	fmt.Stringer
 }
 
+// VarLister is optionally implemented by FilterExpr values that can
+// enumerate the variables they touch. The reference evaluator uses it
+// when it must fall back to the map-based EvalFilter for an expression
+// type it cannot run in id space: only the listed variables are decoded
+// into the Binding instead of the whole solution row.
+type VarLister interface {
+	FilterVars() []Var
+}
+
 // Comparison compares a variable (or constant) with another operand.
 type Comparison struct {
 	Op   string // = != < <= > >=

@@ -205,6 +205,19 @@ func (env *evalEnv) newRow(src slotRow) slotRow {
 	return row
 }
 
+// reserveRows pre-sizes the arena for n upcoming rows, so the emit pass
+// of a hash join bump-allocates every merged row out of a single chunk.
+func (env *evalEnv) reserveRows(n int) {
+	w := len(env.vars)
+	if w == 0 || n <= 0 {
+		return
+	}
+	if len(env.arena)+n*w <= cap(env.arena) {
+		return
+	}
+	env.arena = make([]rdf.TermID, 0, n*w)
+}
+
 func newEvalEnv(q *Query, g *rdf.Graph) *evalEnv {
 	vars := q.Where.PatternVars()
 	slots := make(map[Var]int, len(vars))
@@ -300,7 +313,10 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var kept []slotRow
+		// Filter in place: every evalPattern result is freshly built and
+		// referenced only by its parent, so the surviving rows can be
+		// compacted into the same slice instead of growing a new one.
+		kept := rows[:0]
 		for _, row := range rows {
 			if env.evalFilter(n.Cond, row) {
 				kept = append(kept, row)
@@ -316,20 +332,7 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var out []slotRow
-		for _, l := range left {
-			matched := false
-			for _, r := range right {
-				if compatibleRows(l, r) {
-					out = append(out, env.mergeRows(l, r))
-					matched = true
-				}
-			}
-			if !matched {
-				out = append(out, l)
-			}
-		}
-		return out, nil
+		return env.optionalRows(left, right), nil
 	case Union:
 		left, err := env.evalPattern(n.Left)
 		if err != nil {
@@ -339,7 +342,18 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		return append(left, right...), nil
+		// Right-side rows are copied through the arena rather than
+		// appended directly. This establishes the invariant that the
+		// two branches never share row storage in the combined
+		// sequence: rows are immutable once produced today, but any
+		// future in-place row modifier (e.g. a projection clearing
+		// slots in place) would otherwise alias across branches.
+		out := make([]slotRow, 0, len(left)+len(right))
+		out = append(out, left...)
+		for _, r := range right {
+			out = append(out, env.newRow(r))
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("sparql: cannot evaluate pattern %T", p)
 	}
@@ -367,13 +381,351 @@ func (env *evalEnv) mergeRows(a, b slotRow) slotRow {
 	return out
 }
 
-// joinRows computes the SPARQL join of two solution sequences.
+// The join engine: joinRows, optionalRows, and the Group-part fold all
+// run as id-space hash joins. The join key is the set of slots bound in
+// every row of both sides (computed per join from the slot table); the
+// smaller side is hashed on that key into a chained array table and the
+// other side probes it. Candidate pairs are still verified with
+// compatibleRows, so hash collisions and shared-but-non-key slots are
+// handled exactly as the nested loop would. A counting pass sizes the
+// output slice and the row arena before any row is merged, so a hash
+// join performs O(1) allocations on top of the output rows themselves.
+// The nested loop survives as the fallback for the two cases a hash key
+// cannot express: sides sharing no slots at all (a true cartesian
+// product) and sides whose bindings are partial on the would-be build
+// key (an unbound key slot is compatible with every value, which a hash
+// bucket cannot model).
+
+// sharedKeySlots returns the slots bound in every row of a AND every
+// row of b — the hash-join key. An empty key means the join must fall
+// back to the nested loop.
+func (env *evalEnv) sharedKeySlots(a, b []slotRow) []int {
+	w := len(env.vars)
+	if w == 0 || len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	const allA, allB = 1, 2
+	flags := make([]uint8, w)
+	for s, id := range a[0] {
+		if id != unboundID {
+			flags[s] |= allA
+		}
+	}
+	for _, row := range a[1:] {
+		for s, id := range row {
+			if id == unboundID {
+				flags[s] &^= allA
+			}
+		}
+	}
+	for s, id := range b[0] {
+		if id != unboundID {
+			flags[s] |= allB
+		}
+	}
+	for _, row := range b[1:] {
+		for s, id := range row {
+			if id == unboundID {
+				flags[s] &^= allB
+			}
+		}
+	}
+	key := make([]int, 0, w)
+	for s, f := range flags {
+		if f == allA|allB {
+			key = append(key, s)
+		}
+	}
+	return key
+}
+
+// rowKeyHash hashes the ids at the key slots (FNV-1a over the 4 bytes
+// of each id). Equal key values always collide into the same bucket;
+// unequal values that collide are rejected by compatibleRows.
+func rowKeyHash(row slotRow, key []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range key {
+		id := row[s]
+		h = (h ^ uint64(id&0xff)) * prime64
+		h = (h ^ uint64((id>>8)&0xff)) * prime64
+		h = (h ^ uint64((id>>16)&0xff)) * prime64
+		h = (h ^ uint64(id>>24)) * prime64
+	}
+	return h
+}
+
+// buildJoinTable hashes rows on the key slots into a chained array
+// table: head[bucket] is the first row index, next[i] chains to the
+// following one. Rows are inserted back to front so every bucket lists
+// row indexes in ascending order, which keeps hash-join output in the
+// exact order the nested loop would produce.
+func buildJoinTable(rows []slotRow, key []int) (head, next []int32, mask uint64) {
+	m := 1
+	for m < 2*len(rows) {
+		m <<= 1
+	}
+	head = make([]int32, m)
+	for i := range head {
+		head[i] = -1
+	}
+	next = make([]int32, len(rows))
+	mask = uint64(m - 1)
+	for i := len(rows) - 1; i >= 0; i-- {
+		h := rowKeyHash(rows[i], key) & mask
+		next[i] = head[h]
+		head[h] = int32(i)
+	}
+	return head, next, mask
+}
+
+// allUnbound reports whether no slot of the row is bound.
+func allUnbound(row slotRow) bool {
+	for _, id := range row {
+		if id != unboundID {
+			return false
+		}
+	}
+	return true
+}
+
+// joinRows computes the SPARQL join of two solution sequences with an
+// id-space hash join, falling back to the nested loop when the sides
+// share no all-bound slots. Output order is identical to the nested
+// loop's (a-major, b-suborder) on every path.
 func (env *evalEnv) joinRows(a, b []slotRow) []slotRow {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// A single all-unbound row is the join identity (the Group-fold
+	// seed): merging it with any row yields that row back.
+	if len(a) == 1 && allUnbound(a[0]) {
+		return b
+	}
+	if len(b) == 1 && allUnbound(b[0]) {
+		return a
+	}
+	key := env.sharedKeySlots(a, b)
+	if len(key) == 0 {
+		return env.nestedJoinRows(a, b)
+	}
+	if len(b) <= len(a) {
+		return env.hashJoinBuildRight(a, b, key)
+	}
+	return env.hashJoinBuildLeft(a, b, key)
+}
+
+// nestedJoinRows is the O(n·m) fallback join, kept for cartesian joins
+// (no shared slots) and joins whose bindings are partial on the build
+// key. It is also the baseline the hash-join benchmarks measure against.
+func (env *evalEnv) nestedJoinRows(a, b []slotRow) []slotRow {
 	var out []slotRow
 	for _, x := range a {
 		for _, y := range b {
 			if compatibleRows(x, y) {
 				out = append(out, env.mergeRows(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// hashJoinBuildRight builds the table on b (the smaller side) and
+// probes with a: one pass counts the matches to size the output and the
+// arena exactly, the second emits them in a-major order.
+func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(b, key)
+	total := 0
+	for _, x := range a {
+		h := rowKeyHash(x, key) & mask
+		for yi := head[h]; yi >= 0; yi = next[yi] {
+			if compatibleRows(x, b[yi]) {
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]slotRow, 0, total)
+	env.reserveRows(total)
+	for _, x := range a {
+		h := rowKeyHash(x, key) & mask
+		for yi := head[h]; yi >= 0; yi = next[yi] {
+			if y := b[yi]; compatibleRows(x, y) {
+				out = append(out, env.mergeRows(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// hashJoinBuildLeft builds the table on a (the smaller side) and probes
+// with b, scattering matches through per-build-row cursors so the
+// output still comes out in a-major order with b-suborder.
+func (env *evalEnv) hashJoinBuildLeft(a, b []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(a, key)
+	counts := make([]int32, len(a))
+	total := 0
+	for _, y := range b {
+		h := rowKeyHash(y, key) & mask
+		for xi := head[h]; xi >= 0; xi = next[xi] {
+			if compatibleRows(a[xi], y) {
+				counts[xi]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	// Prefix-sum the counts into write cursors.
+	sum := int32(0)
+	for i, c := range counts {
+		counts[i] = sum
+		sum += c
+	}
+	out := make([]slotRow, total)
+	env.reserveRows(total)
+	for _, y := range b {
+		h := rowKeyHash(y, key) & mask
+		for xi := head[h]; xi >= 0; xi = next[xi] {
+			if x := a[xi]; compatibleRows(x, y) {
+				out[counts[xi]] = env.mergeRows(x, y)
+				counts[xi]++
+			}
+		}
+	}
+	return out
+}
+
+// optionalRows computes the SPARQL left join (OPTIONAL): every left row
+// extended by each compatible right row, or passed through unchanged
+// when none matches. The hash path mirrors joinRows; the fallback keeps
+// the nested loop's exact semantics for partial bindings on the join
+// variables (an unbound slot matches everything).
+func (env *evalEnv) optionalRows(left, right []slotRow) []slotRow {
+	if len(left) == 0 {
+		return nil
+	}
+	if len(right) == 0 {
+		return left
+	}
+	key := env.sharedKeySlots(left, right)
+	if len(key) == 0 {
+		return env.nestedOptionalRows(left, right)
+	}
+	if len(right) <= len(left) {
+		return env.hashOptionalBuildRight(left, right, key)
+	}
+	return env.hashOptionalBuildLeft(left, right, key)
+}
+
+// nestedOptionalRows is the O(n·m) fallback left join.
+func (env *evalEnv) nestedOptionalRows(left, right []slotRow) []slotRow {
+	var out []slotRow
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			if compatibleRows(l, r) {
+				out = append(out, env.mergeRows(l, r))
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// hashOptionalBuildRight builds the table on the right side and probes
+// with the left rows; unmatched left rows pass through without an arena
+// copy, exactly like the nested loop.
+func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(right, key)
+	total, merged := 0, 0
+	for _, l := range left {
+		h := rowKeyHash(l, key) & mask
+		n := 0
+		for ri := head[h]; ri >= 0; ri = next[ri] {
+			if compatibleRows(l, right[ri]) {
+				n++
+			}
+		}
+		if n == 0 {
+			total++
+		} else {
+			total += n
+			merged += n
+		}
+	}
+	out := make([]slotRow, 0, total)
+	env.reserveRows(merged)
+	for _, l := range left {
+		h := rowKeyHash(l, key) & mask
+		matched := false
+		for ri := head[h]; ri >= 0; ri = next[ri] {
+			if r := right[ri]; compatibleRows(l, r) {
+				out = append(out, env.mergeRows(l, r))
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// hashOptionalBuildLeft builds the table on the left side and probes
+// with the right rows, scattering merges through per-left-row cursors;
+// left rows with no match keep their single slot and pass through
+// uncopied. Output order matches the nested loop exactly.
+func (env *evalEnv) hashOptionalBuildLeft(left, right []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(left, key)
+	counts := make([]int32, len(left))
+	merged := 0
+	for _, r := range right {
+		h := rowKeyHash(r, key) & mask
+		for li := head[h]; li >= 0; li = next[li] {
+			if compatibleRows(left[li], r) {
+				counts[li]++
+				merged++
+			}
+		}
+	}
+	// Prefix-sum into write cursors; unmatched left rows take one slot
+	// and are placed immediately.
+	total := 0
+	for _, c := range counts {
+		if c == 0 {
+			total++
+		} else {
+			total += int(c)
+		}
+	}
+	out := make([]slotRow, total)
+	env.reserveRows(merged)
+	pos := int32(0)
+	for i, c := range counts {
+		counts[i] = pos
+		if c == 0 {
+			out[pos] = left[i]
+			pos++
+		} else {
+			pos += c
+		}
+	}
+	for _, r := range right {
+		h := rowKeyHash(r, key) & mask
+		for li := head[h]; li >= 0; li = next[li] {
+			if l := left[li]; compatibleRows(l, r) {
+				out[counts[li]] = env.mergeRows(l, r)
+				counts[li]++
 			}
 		}
 	}
@@ -406,8 +758,29 @@ func (env *evalEnv) evalFilter(e FilterExpr, row slotRow) bool {
 		slot, ok := env.slots[n.Var]
 		return ok && row[slot] != unboundID
 	default:
+		// Unknown expression types fall back to the map-based
+		// FilterExpr API. When the expression can enumerate the
+		// variables it touches, only those are decoded; otherwise the
+		// whole row is.
+		if vl, ok := e.(VarLister); ok {
+			return e.EvalFilter(env.decodeVars(row, vl.FilterVars()))
+		}
 		return e.EvalFilter(env.decodeRow(row))
 	}
+}
+
+// decodeVars materializes just the named variables of an id-space row
+// as a Binding, for filter expressions that declare what they touch.
+func (env *evalEnv) decodeVars(row slotRow, vars []Var) Binding {
+	b := make(Binding, len(vars))
+	for _, v := range vars {
+		if s, ok := env.slots[v]; ok {
+			if id := row[s]; id != unboundID {
+				b[v] = env.terms[id]
+			}
+		}
+	}
+	return b
 }
 
 func (env *evalEnv) resolveOperand(o Operand, row slotRow) (rdf.Term, bool) {
