@@ -8,14 +8,19 @@
 //	rdfquery -data data.nt -query 'SELECT ?s WHERE { ?s ?p ?o }'
 //	rdfquery -data data.nt -queryfile q.rq -engine S2RDF
 //	rdfquery -data data.nt -query '...' -engine reference
+//	echo 'ASK { ?s ?p ?o }' | rdfquery -data data.nt -queryfile -
+//	rdfquery -data data.nt -queryfile q.rq -repeat 100   # one Prepared plan
 //	rdfquery -engines    # list available engines
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/rdf"
 	"repro/internal/spark"
@@ -26,8 +31,10 @@ import (
 func main() {
 	dataPath := flag.String("data", "", "RDF input file (.nt N-Triples, .ttl Turtle)")
 	queryText := flag.String("query", "", "SPARQL query text")
-	queryFile := flag.String("queryfile", "", "file holding the SPARQL query")
+	queryFile := flag.String("queryfile", "", "file holding the SPARQL query, or - for stdin")
 	engineName := flag.String("engine", "reference", "engine name or 'reference'")
+	repeat := flag.Int("repeat", 1, "run the query N times reusing one prepared plan")
+	timeout := flag.Duration("timeout", 0, "per-run deadline for the reference evaluator (0 = none)")
 	list := flag.Bool("engines", false, "list engine names and exit")
 	flag.Parse()
 
@@ -46,7 +53,13 @@ func main() {
 	}
 	text := *queryText
 	if text == "" && *queryFile != "" {
-		raw, err := os.ReadFile(*queryFile)
+		var raw []byte
+		var err error
+		if *queryFile == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*queryFile)
+		}
 		if err != nil {
 			fail(err.Error())
 		}
@@ -54,6 +67,9 @@ func main() {
 	}
 	if text == "" {
 		fail("missing -query or -queryfile")
+	}
+	if *repeat < 1 {
+		fail("-repeat must be >= 1")
 	}
 
 	f, err := os.Open(*dataPath)
@@ -70,18 +86,36 @@ func main() {
 	if err != nil {
 		fail("parsing data: " + err.Error())
 	}
-	q, err := sparql.Parse(text)
+	// Prepare once: -repeat reuses the same plan for every run, the
+	// compile-once/run-many contract the query service is built on.
+	prep, err := sparql.Prepare(text)
 	if err != nil {
 		fail("parsing query: " + err.Error())
 	}
+	q := prep.Query()
 	fmt.Printf("loaded %d triples; query shape: %s\n", len(triples), sparql.ClassifyShape(q))
 
 	if *engineName == "reference" {
-		res, err := sparql.Evaluate(q, rdf.NewGraph(triples))
-		if err != nil {
-			fail(err.Error())
+		g := rdf.NewGraph(triples)
+		var res *sparql.Results
+		start := time.Now()
+		for i := 0; i < *repeat; i++ {
+			ctx, cancel := context.Background(), context.CancelFunc(func() {})
+			if *timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+			}
+			res, err = prep.Run(ctx, g)
+			cancel()
+			if err != nil {
+				fail(err.Error())
+			}
 		}
+		elapsed := time.Since(start)
 		fmt.Print(res.String())
+		if *repeat > 1 {
+			fmt.Printf("%d runs of one prepared plan in %v (%v/run)\n",
+				*repeat, elapsed.Round(time.Microsecond), (elapsed / time.Duration(*repeat)).Round(time.Microsecond))
+		}
 		return
 	}
 	for _, e := range systems.AllEngines(conf) {
@@ -92,11 +126,20 @@ func main() {
 			fail(err.Error())
 		}
 		before := e.Context().Snapshot()
-		res, err := e.Execute(q)
-		if err != nil {
-			fail(err.Error())
+		var res *sparql.Results
+		start := time.Now()
+		for i := 0; i < *repeat; i++ {
+			res, err = e.Execute(q)
+			if err != nil {
+				fail(err.Error())
+			}
 		}
+		elapsed := time.Since(start)
 		fmt.Print(res.String())
+		if *repeat > 1 {
+			fmt.Printf("%d runs in %v (%v/run)\n",
+				*repeat, elapsed.Round(time.Microsecond), (elapsed / time.Duration(*repeat)).Round(time.Microsecond))
+		}
 		fmt.Printf("cluster activity: %s\n", e.Context().Snapshot().Diff(before))
 		return
 	}

@@ -1,0 +1,122 @@
+// Command rdfserve runs the SPARQL query service: it loads an RDF
+// dataset (from a file, or a generated benchmark dataset), warms the
+// evaluator's shared structures, and serves the SPARQL protocol over
+// HTTP with a prepared-plan cache, bounded concurrency, per-query
+// deadlines, and streaming JSON/TSV results.
+//
+// Usage:
+//
+//	rdfserve -data data.nt -addr :8080
+//	rdfserve -dataset university -scale medium     # generated data
+//	rdfserve -data data.ttl -engine S2RDF          # surveyed engine
+//
+// Endpoints: /sparql (GET ?query=..., POST form or
+// application/sparql-query), /healthz, /stats. Useful /sparql
+// parameters: format=json|tsv, timeout=500ms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/server"
+	"repro/internal/spark"
+	"repro/internal/systems"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataPath := flag.String("data", "", "RDF input file (.nt N-Triples, .ttl Turtle)")
+	dataset := flag.String("dataset", "", "generate a dataset instead: university | shop")
+	scale := flag.String("scale", "small", "generated dataset scale: small | medium")
+	engineName := flag.String("engine", "reference", "engine name or 'reference'")
+	maxConcurrent := flag.Int("max-concurrent", 8, "queries evaluating at once")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
+	cacheSize := flag.Int("plan-cache", 256, "prepared-plan LRU capacity (negative disables)")
+	flag.Parse()
+
+	triples, err := loadTriples(*dataPath, *dataset, *scale)
+	if err != nil {
+		fail(err.Error())
+	}
+	g := rdf.NewGraph(triples)
+
+	cfg := server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		PlanCacheSize:  *cacheSize,
+	}
+	var srv *server.Server
+	if *engineName == "reference" {
+		srv = server.New(g, cfg)
+	} else {
+		eng := findEngine(*engineName)
+		if eng == nil {
+			fail("unknown engine " + *engineName + " (see rdfquery -engines)")
+		}
+		if err := eng.Load(g.Triples()); err != nil {
+			fail("loading engine: " + err.Error())
+		}
+		srv = server.NewWithEngine(g, eng, cfg)
+	}
+
+	log.Printf("rdfserve: %d triples loaded, engine=%s, serving on %s", g.Len(), *engineName, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fail(err.Error())
+	}
+}
+
+// loadTriples reads the dataset from a file or generates a synthetic
+// one (exactly the rdfgen datasets, handy for smoke tests).
+func loadTriples(dataPath, dataset, scale string) ([]rdf.Triple, error) {
+	switch {
+	case dataPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(dataPath, ".ttl") {
+			return rdf.ParseTurtle(f)
+		}
+		return rdf.ParseNTriples(f)
+	case dataset == "university":
+		cfg := workload.SmallUniversity()
+		if scale == "medium" {
+			cfg = workload.MediumUniversity()
+		}
+		return workload.GenerateUniversity(cfg), nil
+	case dataset == "shop":
+		cfg := workload.SmallShop()
+		if scale == "medium" {
+			cfg = workload.MediumShop()
+		}
+		return workload.GenerateShop(cfg), nil
+	default:
+		return nil, fmt.Errorf("need -data FILE or -dataset university|shop")
+	}
+}
+
+func findEngine(name string) core.Engine {
+	for _, e := range systems.AllEngines(spark.DefaultConfig()) {
+		if e.Info().Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "rdfserve:", msg)
+	os.Exit(1)
+}

@@ -51,6 +51,41 @@
 //     semantic baseline. Allocation-regression tests pin all of these
 //     invariants.
 //
+// # Query service
+//
+// internal/server wraps the reference evaluator in the thing the
+// survey frames these systems as: a concurrent query-answering
+// service. The serving contract is built on a compile-once/run-many
+// split in internal/sparql:
+//
+//   - sparql.Prepare(text) parses once and builds the Var→slot table;
+//     the resulting Prepared is goroutine-safe — any number of
+//     (*Prepared).Run(ctx, g) calls may execute concurrently, each on
+//     its own arena. Run honors context cancellation with an amortized
+//     check (one poll per 1024 rows) inside the scan and join loops,
+//     so deadlines and client disconnects abort long joins promptly
+//     without costing the pinned allocations per operation. A context
+//     that can never be cancelled costs the hot loops one nil check.
+//   - Prepared memoizes, per BGP, the compiled patterns (constants
+//     resolved to dictionary ids, selectivity-ordered) for one graph
+//     snapshot, identified by (EncodedView pointer, triple count):
+//     re-running on an unchanged graph skips constant encoding,
+//     estimation, and join ordering; an Add invalidates by changing
+//     the count. Published plans are immutable and shared lock-free by
+//     concurrent runs. (*Prepared).RunSolutions returns id-space rows
+//     whose terms decode on access, for streaming serializers.
+//
+// The server itself holds one read-only rdf.Graph (single-writer/
+// many-reader: Encoded and Stats fill lazily under a lock, all other
+// read paths are lock-free), an LRU plan cache keyed by exact query
+// text (a hit returns the shared Prepared and skips parse + compile
+// entirely — BenchmarkServeCachedQuery measures the gap), a bounded
+// worker pool whose admission queue charges waiting time against the
+// query's deadline, and streaming SPARQL JSON / TSV writers that
+// decode each surviving row straight into the response buffer, never
+// materializing []Binding. /healthz and /stats (plan-cache counters,
+// in-flight gauge, latency histogram) expose the service's state.
+//
 // Run the micro-benchmarks tracking these paths with
 //
 //	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...

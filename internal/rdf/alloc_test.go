@@ -11,7 +11,7 @@ func allocGraph(n int) *Graph {
 		s := NewIRI(fmt.Sprintf("http://ex/s%d", i))
 		ts = append(ts,
 			Triple{S: s, P: NewIRI("http://ex/name"), O: NewLiteral(fmt.Sprintf("n%d", i))},
-			Triple{S: s, P: NewIRI("http://ex/age"), O: NewTypedLiteral(fmt.Sprint(20 + i%50), XSDInteger)},
+			Triple{S: s, P: NewIRI("http://ex/age"), O: NewTypedLiteral(fmt.Sprint(20+i%50), XSDInteger)},
 		)
 	}
 	return NewGraph(ts)

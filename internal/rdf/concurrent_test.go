@@ -1,0 +1,60 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Many goroutines hitting a cold graph's lazy caches at once must be
+// safe (run with -race) and must all see the same encoded view and the
+// same statistics — the single-writer/many-reader contract the query
+// service builds on.
+func TestGraphConcurrentLazyInit(t *testing.T) {
+	var ts []Triple
+	for i := 0; i < 200; i++ {
+		ts = append(ts, Triple{
+			S: NewIRI(fmt.Sprintf("http://ex/s%d", i%50)),
+			P: NewIRI(fmt.Sprintf("http://ex/p%d", i%7)),
+			O: NewLiteral(fmt.Sprintf("o%d", i)),
+		})
+	}
+	g := NewGraph(ts)
+
+	const goroutines = 16
+	views := make([]*EncodedView, goroutines)
+	stats := make([]Stats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = g.Encoded()
+			stats[i] = g.Stats()
+			// Exercise the read paths that share the lazily built
+			// structures: index lookups, dictionary decoding.
+			for _, e := range views[i].WithPredicate(views[i].Dict().Encode(NewIRI("http://ex/p0"))) {
+				if _, err := views[i].Dict().Decode(e.O); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if views[i] != views[0] {
+			t.Fatal("goroutines saw different encoded views")
+		}
+		if stats[i].Triples != stats[0].Triples || stats[i].DistinctPredicates != stats[0].DistinctPredicates {
+			t.Fatalf("goroutine %d saw different stats: %+v vs %+v", i, stats[i], stats[0])
+		}
+	}
+	if views[0].Len() != g.Len() {
+		t.Fatalf("encoded view holds %d triples, graph %d", views[0].Len(), g.Len())
+	}
+	if stats[0].Triples != g.Len() {
+		t.Fatalf("stats count %d, graph %d", stats[0].Triples, g.Len())
+	}
+}

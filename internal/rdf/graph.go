@@ -14,6 +14,16 @@ import (
 // The indexes store per-key triple slices, so WithSubject /
 // WithPredicate / WithObject return views without copying. Callers
 // must treat the returned slices as read-only.
+//
+// Concurrency contract: a Graph is single-writer, many-reader. Add is
+// not safe concurrently with anything; once loading is done, every
+// read path — the term-space indexes, Encoded, Stats, and the views
+// they return — is safe for unlimited concurrent readers. The two
+// lazily built caches (the encoded view and the statistics) do their
+// first-use fill under encMu, so N goroutines racing into a cold
+// Encoded or Stats is safe; this is the contract the query service
+// (internal/server) and concurrent (*sparql.Prepared).Run depend on,
+// and TestGraphConcurrentLazyInit pins it under the race detector.
 type Graph struct {
 	triples []Triple
 	byP     map[string][]Triple

@@ -1,0 +1,306 @@
+// Package server turns the reproduction into what the survey says
+// Spark RDF systems are for: a query-answering service. It serves the
+// SPARQL protocol over HTTP against a shared read-only rdf.Graph
+// snapshot, with a compile-once/run-many evaluator behind an LRU
+// prepared-plan cache, bounded-concurrency admission control with
+// per-query deadlines, and streaming result writers that decode each
+// surviving row straight into the response.
+//
+// Concurrency model: the graph is loaded (and its encoded view and
+// statistics warmed) before the server starts accepting queries, and is
+// never mutated afterwards — every evaluator structure the requests
+// share (term-space indexes, dictionary-encoded view, cached stats,
+// cached plans) is then safe for unlimited concurrent readers. Each
+// request runs on its own goroutine with its own evaluation arena; the
+// only cross-request synchronization is the plan-cache mutex and the
+// admission semaphore.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Config tunes the query service. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// MaxConcurrent bounds the number of queries evaluating at once
+	// (the worker pool). Excess queries wait for a slot until their
+	// deadline and are rejected with 503 if none frees up. Default 8.
+	MaxConcurrent int
+	// DefaultTimeout is the per-query deadline when the client does not
+	// pass one. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested timeout. Default 2m.
+	MaxTimeout time.Duration
+	// PlanCacheSize is the capacity of the prepared-plan LRU; negative
+	// disables plan caching (every query re-parses). Default 256.
+	PlanCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	return c
+}
+
+// Server is the SPARQL query service. Create it with New, mount
+// Handler (or the Server itself) on an http.Server, and keep the graph
+// read-only for the server's lifetime.
+type Server struct {
+	graph *rdf.Graph
+	cfg   Config
+	cache *planCache
+	sem   chan struct{}
+	m     *metrics
+	mux   *http.ServeMux
+
+	// engine, when set, answers queries instead of the reference
+	// evaluator. The surveyed engines are single-threaded simulations,
+	// so execution is serialized by engineMu; the plan cache still
+	// amortizes parsing.
+	engine   core.Engine
+	engineMu sync.Mutex
+
+	started time.Time
+}
+
+// New builds a server answering queries over g with the reference
+// evaluator. The graph's encoded view and statistics are warmed
+// eagerly so the first request pays no lazy-initialization cost and
+// the shared structures are immutable from here on.
+func New(g *rdf.Graph, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	g.Encoded()
+	g.Stats()
+	s := &Server{
+		graph:   g,
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.PlanCacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		m:       newMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// NewWithEngine builds a server that answers queries with one of the
+// surveyed engines (already loaded with the same data as g; g is still
+// used for /healthz reporting). Engine execution is serialized.
+func NewWithEngine(g *rdf.Graph, engine core.Engine, cfg Config) *Server {
+	s := New(g, cfg)
+	s.engine = engine
+	return s
+}
+
+// Handler returns the root handler serving /sparql, /healthz, /stats.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryText extracts the query string per the SPARQL 1.1 protocol:
+// GET ?query=, POST application/x-www-form-urlencoded query=, or POST
+// application/sparql-query with the query as the body.
+func queryText(r *http.Request) (string, error) {
+	if r.Method == http.MethodGet {
+		return r.URL.Query().Get("query"), nil
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/sparql-query" {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		return string(body), nil
+	}
+	if err := r.ParseForm(); err != nil {
+		return "", err
+	}
+	return r.PostForm.Get("query"), nil
+}
+
+// responseFormat picks the serialization: an explicit format= parameter
+// wins, then the Accept header; JSON is the default.
+func responseFormat(r *http.Request) string {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return "json"
+	case "tsv":
+		return "tsv"
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/tab-separated-values") {
+		return "tsv"
+	}
+	return "json"
+}
+
+// queryTimeout resolves the per-query deadline: an explicit timeout=
+// duration parameter (capped at MaxTimeout) or the default.
+func (s *Server) queryTimeout(r *http.Request) time.Duration {
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		if d, err := time.ParseDuration(t); err == nil && d > 0 {
+			if d > s.cfg.MaxTimeout {
+				return s.cfg.MaxTimeout
+			}
+			return d
+		}
+	}
+	return s.cfg.DefaultTimeout
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.m.fail()
+		http.Error(w, fmt.Sprintf("sparql: method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+		return
+	}
+	text, err := queryText(r)
+	if err != nil { // unreadable body / malformed form
+		s.m.fail()
+		http.Error(w, "sparql: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(text) == "" {
+		s.m.fail()
+		http.Error(w, "sparql: missing query", http.StatusBadRequest)
+		return
+	}
+	prep, _, err := s.cache.prepare(text)
+	if err != nil {
+		s.m.fail()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The deadline covers queueing and evaluation alike: a query that
+	// waited out its budget in the admission queue is rejected, and one
+	// admitted late gets only the remainder for evaluation. Client
+	// disconnects cancel through the same context.
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(r))
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.m.reject()
+		http.Error(w, "sparql: server at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	s.m.inFlight.Add(1)
+	defer s.m.inFlight.Add(-1)
+
+	start := time.Now()
+	sol, err := s.run(ctx, prep)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.m.timeout()
+			http.Error(w, "sparql: query deadline exceeded", http.StatusGatewayTimeout)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			// Client went away; nobody is listening for a status.
+			s.m.timeout()
+			return
+		}
+		s.m.fail()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	var werr error
+	switch {
+	case sol.IsGraph():
+		w.Header().Set("Content-Type", "application/n-triples")
+		werr = writeGraphResults(ctx, w, sol)
+	case responseFormat(r) == "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		werr = writeTSVResults(ctx, w, sol)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		werr = writeJSONResults(ctx, w, sol)
+	}
+	if werr != nil {
+		// Headers are out; all we can do is stop streaming.
+		s.m.timeout()
+		return
+	}
+	s.m.observe(time.Since(start))
+}
+
+// run evaluates one admitted query.
+func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
+	if s.engine == nil {
+		return prep.RunSolutions(ctx, s.graph)
+	}
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	if err := ctx.Err(); err != nil { // deadline may have passed in the queue
+		return nil, err
+	}
+	res, err := s.engine.Execute(prep.Query())
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ResultsSolutions(res), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"triples":        s.graph.Len(),
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	served, failed, timeouts, rejected, hist, meanMs := s.m.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"plan_cache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"size":     size,
+			"capacity": s.cfg.PlanCacheSize,
+		},
+		"in_flight":      s.m.inFlight.Load(),
+		"max_concurrent": s.cfg.MaxConcurrent,
+		"served":         served,
+		"failed":         failed,
+		"timeouts":       timeouts,
+		"rejected":       rejected,
+		"latency": map[string]any{
+			"buckets": hist,
+			"mean_ms": meanMs,
+		},
+	})
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (inclusive, in milliseconds) of
+// the per-query latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metrics aggregates the server's operational counters: queries by
+// outcome, the in-flight gauge, and the latency histogram over
+// successfully served queries. The gauge is atomic (read on the hot
+// path by admission); the rest is mutex-guarded and only touched once
+// per request.
+type metrics struct {
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	served    uint64 // answered successfully
+	failed    uint64 // parse errors, evaluation errors
+	timeouts  uint64 // per-query deadline exceeded / client gone
+	rejected  uint64 // admission control turned the query away
+	buckets   []uint64
+	count     uint64
+	totalSecs float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{buckets: make([]uint64, len(latencyBucketsMs)+1)}
+}
+
+// observe records one successfully served query and its latency.
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	m.mu.Lock()
+	m.served++
+	m.buckets[i]++
+	m.count++
+	m.totalSecs += d.Seconds()
+	m.mu.Unlock()
+}
+
+func (m *metrics) fail()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) timeout() { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
+func (m *metrics) reject()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+
+// histogramBucket is one row of the latency histogram in /stats.
+type histogramBucket struct {
+	LeMs  float64 `json:"le_ms"` // upper bound; 0 means +Inf
+	Count uint64  `json:"count"`
+}
+
+// snapshot renders the counters for the /stats endpoint.
+func (m *metrics) snapshot() (served, failed, timeouts, rejected uint64, hist []histogramBucket, meanMs float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hist = make([]histogramBucket, 0, len(m.buckets))
+	for i, c := range m.buckets {
+		b := histogramBucket{Count: c}
+		if i < len(latencyBucketsMs) {
+			b.LeMs = latencyBucketsMs[i]
+		}
+		hist = append(hist, b)
+	}
+	if m.count > 0 {
+		meanMs = m.totalSecs / float64(m.count) * 1000
+	}
+	return m.served, m.failed, m.timeouts, m.rejected, hist, meanMs
+}

@@ -293,4 +293,3 @@ func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
 	})
 	return fromParts(a.ctx, out, "cartesian")
 }
-

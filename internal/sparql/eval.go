@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,12 +29,21 @@ type slotRow []rdf.TermID
 
 // Evaluate runs q over g with the reference evaluator: a direct,
 // centralized implementation of the SPARQL algebra. Every distributed
-// engine in internal/systems is tested against it.
+// engine in internal/systems is tested against it. For repeated or
+// cancellable evaluation use Prepare / (*Prepared).Run, which share
+// this exact code path.
 func Evaluate(q *Query, g *rdf.Graph) (*Results, error) {
-	env := newEvalEnv(q, g)
+	return evaluate(newEvalEnv(q, g), q)
+}
+
+// evaluate is the shared body of Evaluate and (*Prepared).Run.
+func evaluate(env *evalEnv, q *Query) (*Results, error) {
 	rows, err := env.evalPattern(q.Where)
 	if err != nil {
 		return nil, err
+	}
+	if env.err != nil {
+		return nil, env.err
 	}
 	// Plain SELECT and ASK run the whole modifier pipeline in id
 	// space and decode only the surviving rows. Aggregates, CONSTRUCT,
@@ -44,7 +54,7 @@ func Evaluate(q *Query, g *rdf.Graph) (*Results, error) {
 	}
 	decoded := env.decodeRows(rows)
 	if q.Form == FormDescribe {
-		return describeResources(q, decoded, g), nil
+		return describeResources(q, decoded, env.g), nil
 	}
 	return ApplySolutionModifiers(q, decoded), nil
 }
@@ -57,6 +67,15 @@ func (env *evalEnv) applyModifiers(q *Query, rows []slotRow) *Results {
 		return &Results{IsAsk: true, Ask: len(rows) > 0}
 	}
 	vars := q.SelectedVars()
+	rows = env.modifierPipeline(q, vars, rows)
+	return &Results{Vars: append([]Var{}, vars...), Rows: env.decodeRows(rows)}
+}
+
+// modifierPipeline runs projection / DISTINCT / ORDER BY / OFFSET /
+// LIMIT entirely in id space and returns the surviving rows undecoded.
+// Both the Binding-materializing path (applyModifiers) and the
+// streaming path ((*Prepared).RunSolutions) share it.
+func (env *evalEnv) modifierPipeline(q *Query, vars []Var, rows []slotRow) []slotRow {
 	rows = env.projectRows(rows, vars)
 	if q.Distinct {
 		rows = env.distinctRows(rows)
@@ -74,7 +93,7 @@ func (env *evalEnv) applyModifiers(q *Query, rows []slotRow) *Results {
 	if q.Limit >= 0 && q.Limit < len(rows) {
 		rows = rows[:q.Limit]
 	}
-	return &Results{Vars: append([]Var{}, vars...), Rows: env.decodeRows(rows)}
+	return rows
 }
 
 // projectRows restricts rows to the selected variables by clearing
@@ -180,6 +199,51 @@ type evalEnv struct {
 	vars  []Var // slot→var
 	stats rdf.Stats
 	arena []rdf.TermID // bump allocator for slot rows
+
+	// Cancellation state ((*Prepared).Run): ctx is nil for
+	// uncancellable evaluations (Evaluate, or a context that can never
+	// be cancelled), so the hot loops pay one nil check. When set, the
+	// loops poll ctx.Done() every cancelCheckEvery iterations through
+	// interrupted(), latching the context error in err; every layer
+	// above bails out as soon as err is non-nil.
+	ctx  context.Context
+	tick uint
+	err  error
+
+	// Plan reuse ((*Prepared).Run): prep, when non-nil, caches each
+	// BGP's compiled-and-ordered patterns across runs, keyed by the
+	// graph snapshot. bgpSeq numbers evalBGP calls in (deterministic)
+	// evaluation order to address the cache.
+	prep   *Prepared
+	bgpSeq int
+}
+
+// cancelCheckEvery is the amortization interval of the cancellation
+// check: hot loops consult ctx.Done() once per this many iterations, so
+// a cancellable run costs one counter increment per row instead of one
+// channel poll.
+const cancelCheckEvery = 1024
+
+// interrupted reports whether the evaluation has been cancelled,
+// polling the context at most once per cancelCheckEvery calls. Once it
+// returns true it keeps returning true (the error is latched).
+func (env *evalEnv) interrupted() bool {
+	if env.err != nil {
+		return true
+	}
+	if env.ctx == nil {
+		return false
+	}
+	if env.tick++; env.tick&(cancelCheckEvery-1) != 0 {
+		return false
+	}
+	select {
+	case <-env.ctx.Done():
+		env.err = env.ctx.Err()
+		return true
+	default:
+		return false
+	}
 }
 
 // newRow bump-allocates a row and initializes it as a copy of src
@@ -295,9 +359,16 @@ func describeResources(q *Query, rows []Binding, g *rdf.Graph) *Results {
 }
 
 func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
+	if env.err != nil {
+		return nil, env.err
+	}
 	switch n := p.(type) {
 	case BGP:
-		return env.evalBGP(n), nil
+		rows := env.evalBGP(n)
+		if env.err != nil { // cancelled mid-scan
+			return nil, env.err
+		}
+		return rows, nil
 	case Group:
 		rows := []slotRow{env.emptyRow()}
 		for _, part := range n.Parts {
@@ -306,6 +377,9 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 				return nil, err
 			}
 			rows = env.joinRows(rows, sub)
+			if env.err != nil {
+				return nil, env.err
+			}
 		}
 		return rows, nil
 	case Filter:
@@ -332,7 +406,11 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		return env.optionalRows(left, right), nil
+		rows := env.optionalRows(left, right)
+		if env.err != nil { // cancelled mid-join: rows are partial
+			return nil, env.err
+		}
+		return rows, nil
 	case Union:
 		left, err := env.evalPattern(n.Left)
 		if err != nil {
@@ -525,6 +603,9 @@ func (env *evalEnv) nestedJoinRows(a, b []slotRow) []slotRow {
 	var out []slotRow
 	for _, x := range a {
 		for _, y := range b {
+			if env.interrupted() {
+				return out
+			}
 			if compatibleRows(x, y) {
 				out = append(out, env.mergeRows(x, y))
 			}
@@ -540,6 +621,9 @@ func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(b, key)
 	total := 0
 	for _, x := range a {
+		if env.interrupted() {
+			return nil
+		}
 		h := rowKeyHash(x, key) & mask
 		for yi := head[h]; yi >= 0; yi = next[yi] {
 			if compatibleRows(x, b[yi]) {
@@ -553,6 +637,9 @@ func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
 	out := make([]slotRow, 0, total)
 	env.reserveRows(total)
 	for _, x := range a {
+		if env.interrupted() {
+			return out
+		}
 		h := rowKeyHash(x, key) & mask
 		for yi := head[h]; yi >= 0; yi = next[yi] {
 			if y := b[yi]; compatibleRows(x, y) {
@@ -571,6 +658,9 @@ func (env *evalEnv) hashJoinBuildLeft(a, b []slotRow, key []int) []slotRow {
 	counts := make([]int32, len(a))
 	total := 0
 	for _, y := range b {
+		if env.interrupted() {
+			return nil
+		}
 		h := rowKeyHash(y, key) & mask
 		for xi := head[h]; xi >= 0; xi = next[xi] {
 			if compatibleRows(a[xi], y) {
@@ -591,6 +681,12 @@ func (env *evalEnv) hashJoinBuildLeft(a, b []slotRow, key []int) []slotRow {
 	out := make([]slotRow, total)
 	env.reserveRows(total)
 	for _, y := range b {
+		if env.interrupted() {
+			// The scatter is incomplete — out still has nil holes that
+			// would crash any consumer — so return nothing. The latched
+			// error stops the evaluation right above this frame.
+			return nil
+		}
 		h := rowKeyHash(y, key) & mask
 		for xi := head[h]; xi >= 0; xi = next[xi] {
 			if x := a[xi]; compatibleRows(x, y) {
@@ -630,6 +726,9 @@ func (env *evalEnv) nestedOptionalRows(left, right []slotRow) []slotRow {
 	for _, l := range left {
 		matched := false
 		for _, r := range right {
+			if env.interrupted() {
+				return out
+			}
 			if compatibleRows(l, r) {
 				out = append(out, env.mergeRows(l, r))
 				matched = true
@@ -649,6 +748,9 @@ func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []s
 	head, next, mask := buildJoinTable(right, key)
 	total, merged := 0, 0
 	for _, l := range left {
+		if env.interrupted() {
+			return nil
+		}
 		h := rowKeyHash(l, key) & mask
 		n := 0
 		for ri := head[h]; ri >= 0; ri = next[ri] {
@@ -666,6 +768,9 @@ func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []s
 	out := make([]slotRow, 0, total)
 	env.reserveRows(merged)
 	for _, l := range left {
+		if env.interrupted() {
+			return out
+		}
 		h := rowKeyHash(l, key) & mask
 		matched := false
 		for ri := head[h]; ri >= 0; ri = next[ri] {
@@ -690,6 +795,9 @@ func (env *evalEnv) hashOptionalBuildLeft(left, right []slotRow, key []int) []sl
 	counts := make([]int32, len(left))
 	merged := 0
 	for _, r := range right {
+		if env.interrupted() {
+			return nil
+		}
 		h := rowKeyHash(r, key) & mask
 		for li := head[h]; li >= 0; li = next[li] {
 			if compatibleRows(left[li], r) {
@@ -721,6 +829,11 @@ func (env *evalEnv) hashOptionalBuildLeft(left, right []slotRow, key []int) []sl
 		}
 	}
 	for _, r := range right {
+		if env.interrupted() {
+			// Incomplete scatter: nil holes remain, return nothing (the
+			// latched error aborts the evaluation).
+			return nil
+		}
 		h := rowKeyHash(r, key) & mask
 		for li := head[h]; li >= 0; li = next[li] {
 			if l := left[li]; compatibleRows(l, r) {
@@ -919,19 +1032,21 @@ func orderPatterns(cps []cPattern, nslots int) []cPattern {
 
 // evalBGP evaluates a conjunction of triple patterns by iterated
 // selection and join over the encoded indexes, visiting patterns in
-// selectivity order.
+// selectivity order. Prepared runs reuse the compiled-and-ordered
+// pattern list across calls via planFor.
 func (env *evalEnv) evalBGP(b BGP) []slotRow {
-	cps := make([]cPattern, len(b.Patterns))
-	for i, tp := range b.Patterns {
-		cps[i] = env.compilePattern(tp)
-	}
-	cps = orderPatterns(cps, len(env.vars))
+	seq := env.bgpSeq
+	env.bgpSeq++
+	cps := env.planFor(seq, b)
 	rows := []slotRow{env.emptyRow()}
 	scratch := env.emptyRow()
 	for _, cp := range cps {
 		next := make([]slotRow, 0, len(rows))
 		for _, row := range rows {
 			next = env.matchPattern(cp, row, scratch, next)
+			if env.err != nil {
+				return nil
+			}
 		}
 		rows = next
 		if len(rows) == 0 {
@@ -939,6 +1054,29 @@ func (env *evalEnv) evalBGP(b BGP) []slotRow {
 		}
 	}
 	return rows
+}
+
+// planFor returns the compiled, selectivity-ordered patterns of the
+// seq-th BGP of the query. Plain Evaluate compiles on every call; a
+// Prepared run consults the plan cache first, so re-running a plan on
+// an unchanged graph snapshot skips constant encoding, selectivity
+// estimation, and join ordering entirely. Cached plans are immutable
+// after publication and therefore safe to share across concurrent runs.
+func (env *evalEnv) planFor(seq int, b BGP) []cPattern {
+	if env.prep != nil {
+		if cps := env.prep.cachedPlan(env.view, seq); cps != nil {
+			return cps
+		}
+	}
+	cps := make([]cPattern, len(b.Patterns))
+	for i, tp := range b.Patterns {
+		cps[i] = env.compilePattern(tp)
+	}
+	cps = orderPatterns(cps, len(env.vars))
+	if env.prep != nil {
+		env.prep.storePlan(env.view, seq, cps)
+	}
+	return cps
 }
 
 // elemID resolves a compiled element under a row: constants yield
@@ -977,6 +1115,9 @@ func (env *evalEnv) matchPattern(cp cPattern, row slotRow, scratch slotRow, out 
 		}
 	}
 	for _, t := range candidates {
+		if env.interrupted() {
+			return out
+		}
 		if sBound && t.S != sID {
 			continue
 		}

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -400,20 +401,39 @@ func (p *parser) parseQuery() (*Query, error) {
 	}
 
 	if p.acceptKeyword("LIMIT") {
-		t := p.next()
-		if t.kind != "number" {
-			return nil, fmt.Errorf("sparql: expected number after LIMIT")
+		n, err := p.parseCount("LIMIT")
+		if err != nil {
+			return nil, err
 		}
-		fmt.Sscanf(t.text, "%d", &q.Limit)
+		q.Limit = n
 	}
 	if p.acceptKeyword("OFFSET") {
-		t := p.next()
-		if t.kind != "number" {
-			return nil, fmt.Errorf("sparql: expected number after OFFSET")
+		n, err := p.parseCount("OFFSET")
+		if err != nil {
+			return nil, err
 		}
-		fmt.Sscanf(t.text, "%d", &q.Offset)
+		q.Offset = n
 	}
 	return q, nil
+}
+
+// parseCount parses the non-negative integer argument of LIMIT/OFFSET.
+// The lexer's number token also admits decimals and negative numbers
+// (needed for FILTER literals), so the value is validated here instead
+// of being silently truncated.
+func (p *parser) parseCount(clause string) (int, error) {
+	t := p.next()
+	if t.kind != "number" {
+		return 0, fmt.Errorf("sparql: expected number after %s, got %q", clause, t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("sparql: bad %s value %q: %v", clause, t.text, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("sparql: negative %s value %q", clause, t.text)
+	}
+	return n, nil
 }
 
 func isAggName(s string) bool {

@@ -1,0 +1,260 @@
+package sparql
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Prepared is a query compiled for repeated execution: the parsed
+// algebra plus the Var→slot table, built once by Prepare and reused by
+// every Run. A Prepared value is goroutine-safe — any number of Run /
+// RunSolutions calls may execute concurrently against the same or
+// different graphs — because each run builds its own evaluation
+// environment (row arena, cancellation state) and only shares the
+// immutable query, the slot table, and the mutex-guarded plan cache.
+//
+// The plan cache memoizes, per BGP of the query, the compiled triple
+// patterns (constants resolved to dictionary ids) in selectivity order
+// for one graph snapshot, identified by the graph's EncodedView pointer
+// and its triple count. Re-running against the same snapshot skips
+// parsing, slot-table construction, constant encoding, selectivity
+// estimation, and join ordering; a run against a different graph — or
+// the same graph after an Add — recompiles and replaces the cache.
+// Cached plans are never mutated after publication, so concurrent runs
+// share them without copying.
+type Prepared struct {
+	q     *Query
+	vars  []Var
+	slots map[Var]int
+
+	mu       sync.Mutex
+	planView *rdf.EncodedView
+	planLen  int
+	plans    [][]cPattern // indexed by BGP evaluation order
+}
+
+// Prepare parses text and compiles it for repeated execution.
+func Prepare(text string) (*Prepared, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareQuery(q), nil
+}
+
+// PrepareQuery compiles an already-parsed query for repeated execution.
+// The query must not be mutated afterwards.
+func PrepareQuery(q *Query) *Prepared {
+	vars := q.Where.PatternVars()
+	slots := make(map[Var]int, len(vars))
+	for i, v := range vars {
+		slots[v] = i
+	}
+	return &Prepared{q: q, vars: vars, slots: slots}
+}
+
+// Query returns the parsed query. Callers must treat it as read-only.
+func (p *Prepared) Query() *Query { return p.q }
+
+// newEnv builds a fresh evaluation environment for one run, reusing
+// the prepared slot table and wiring in the cancellation context. A
+// context that can never be cancelled (Done() == nil, e.g.
+// context.Background()) costs the hot loops nothing.
+func (p *Prepared) newEnv(ctx context.Context, g *rdf.Graph) *evalEnv {
+	view := g.Encoded()
+	env := &evalEnv{
+		g:     g,
+		view:  view,
+		terms: view.Dict().Terms(),
+		slots: p.slots,
+		vars:  p.vars,
+		stats: g.Stats(),
+		prep:  p,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		env.ctx = ctx
+	}
+	return env
+}
+
+// Run evaluates the prepared query over g, honoring ctx: when the
+// context is cancelled or its deadline passes, the evaluation aborts
+// promptly (the join and scan loops poll the context with an amortized
+// check every cancelCheckEvery rows) and Run returns ctx.Err().
+func (p *Prepared) Run(ctx context.Context, g *rdf.Graph) (*Results, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return evaluate(p.newEnv(ctx, g), p.q)
+}
+
+// cachedPlan returns the cached plan of the seq-th BGP for the given
+// graph snapshot, or nil when no matching plan is cached.
+func (p *Prepared) cachedPlan(view *rdf.EncodedView, seq int) []cPattern {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.planView != view || p.planLen != view.Len() || seq >= len(p.plans) {
+		return nil
+	}
+	return p.plans[seq]
+}
+
+// storePlan publishes the compiled plan of the seq-th BGP for the
+// given graph snapshot, discarding plans of any other snapshot.
+func (p *Prepared) storePlan(view *rdf.EncodedView, seq int, cps []cPattern) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.planView != view || p.planLen != view.Len() {
+		p.planView, p.planLen = view, view.Len()
+		p.plans = p.plans[:0]
+	}
+	for len(p.plans) <= seq {
+		p.plans = append(p.plans, nil)
+	}
+	p.plans[seq] = cps
+}
+
+// Solutions is a result sequence positioned for streaming: for plain
+// SELECT (and ASK) queries the rows stay in id space with all solution
+// modifiers already applied, and each term is decoded on access — a
+// serializer can write row after row straight into a response without
+// ever materializing a []Binding. Aggregates, CONSTRUCT, and DESCRIBE
+// need term values for every solution, so those forms carry decoded
+// rows (or the result graph) behind the same accessors.
+//
+// A Solutions value is read-only and safe for concurrent readers; it
+// pins the evaluation environment (and through it the graph's term
+// dictionary snapshot) until released to the GC.
+type Solutions struct {
+	vars []Var
+
+	// id-space backing (plain SELECT).
+	env  *evalEnv
+	rows []slotRow
+	cols []int // vars[i] → slot, -1 when the variable never binds
+
+	// decoded backing (aggregates and other forms).
+	decoded []Binding
+
+	isAsk   bool
+	ask     bool
+	isGraph bool
+	triples []rdf.Triple
+}
+
+// RunSolutions evaluates the prepared query over g like Run, but
+// returns the solutions positioned for streaming instead of a
+// materialized Results. Cancellation behaves exactly as in Run.
+func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph) (*Solutions, error) {
+	q := p.q
+	if (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		env := p.newEnv(ctx, g)
+		rows, err := env.evalPattern(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		if env.err != nil {
+			return nil, env.err
+		}
+		if q.Form == FormAsk {
+			return &Solutions{isAsk: true, ask: len(rows) > 0}, nil
+		}
+		vars := q.SelectedVars()
+		rows = env.modifierPipeline(q, vars, rows)
+		cols := make([]int, len(vars))
+		for i, v := range vars {
+			if s, ok := env.slots[v]; ok {
+				cols[i] = s
+			} else {
+				cols[i] = -1
+			}
+		}
+		return &Solutions{vars: vars, env: env, rows: rows, cols: cols}, nil
+	}
+	res, err := p.Run(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return ResultsSolutions(res), nil
+}
+
+// ResultsSolutions wraps an already-materialized Results behind the
+// Solutions accessors, so serializers written against the streaming
+// API also accept results from engines that only produce Bindings.
+func ResultsSolutions(res *Results) *Solutions {
+	return &Solutions{
+		vars:    res.Vars,
+		decoded: res.Rows,
+		isAsk:   res.IsAsk,
+		ask:     res.Ask,
+		isGraph: res.IsGraph,
+		triples: res.Triples,
+	}
+}
+
+// Vars returns the result variables in projection order (read-only).
+func (s *Solutions) Vars() []Var { return s.vars }
+
+// Len returns the number of solution rows.
+func (s *Solutions) Len() int {
+	if s.env != nil {
+		return len(s.rows)
+	}
+	return len(s.decoded)
+}
+
+// IsAsk reports whether this is an ASK answer (see Ask).
+func (s *Solutions) IsAsk() bool { return s.isAsk }
+
+// Ask returns the boolean answer of an ASK query.
+func (s *Solutions) Ask() bool { return s.ask }
+
+// IsGraph reports whether this is a CONSTRUCT/DESCRIBE graph result
+// (see Graph).
+func (s *Solutions) IsGraph() bool { return s.isGraph }
+
+// Graph returns the triples of a graph result (read-only).
+func (s *Solutions) Graph() []rdf.Triple { return s.triples }
+
+// Term returns the term bound to column col of row, decoding it from
+// the id-space row on the fly; ok is false for unbound positions. It
+// allocates nothing and may be called from concurrent readers.
+func (s *Solutions) Term(row, col int) (rdf.Term, bool) {
+	if s.env != nil {
+		slot := s.cols[col]
+		if slot < 0 {
+			return rdf.Term{}, false
+		}
+		id := s.rows[row][slot]
+		if id == unboundID {
+			return rdf.Term{}, false
+		}
+		return s.env.terms[id], true
+	}
+	t, ok := s.decoded[row][s.vars[col]]
+	return t, ok
+}
+
+// Results materializes the solutions as a Results value (decoding every
+// row). It is the bridge back to the non-streaming API.
+func (s *Solutions) Results() *Results {
+	if s.isAsk {
+		return &Results{IsAsk: true, Ask: s.ask}
+	}
+	if s.isGraph {
+		return &Results{IsGraph: true, Triples: s.triples}
+	}
+	if s.env == nil {
+		return &Results{Vars: s.vars, Rows: s.decoded}
+	}
+	return &Results{Vars: append([]Var{}, s.vars...), Rows: s.env.decodeRows(s.rows)}
+}
