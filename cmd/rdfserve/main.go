@@ -2,7 +2,8 @@
 // dataset (from a file, or a generated benchmark dataset), warms the
 // evaluator's shared structures, and serves the SPARQL protocol over
 // HTTP with a prepared-plan cache, bounded concurrency, per-query
-// deadlines, and streaming JSON/TSV results.
+// deadlines, morsel-driven intra-query parallelism (see
+// -query-parallelism), and streaming JSON/TSV results.
 //
 // Usage:
 //
@@ -39,6 +40,7 @@ func main() {
 	scale := flag.String("scale", "small", "generated dataset scale: small | medium")
 	engineName := flag.String("engine", "reference", "engine name or 'reference'")
 	maxConcurrent := flag.Int("max-concurrent", 8, "queries evaluating at once")
+	queryParallelism := flag.Int("query-parallelism", 0, "morsel workers per query (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 	cacheSize := flag.Int("plan-cache", 256, "prepared-plan LRU capacity (negative disables)")
@@ -51,10 +53,11 @@ func main() {
 	g := rdf.NewGraph(triples)
 
 	cfg := server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		PlanCacheSize:  *cacheSize,
+		MaxConcurrent:    *maxConcurrent,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		PlanCacheSize:    *cacheSize,
+		QueryParallelism: *queryParallelism,
 	}
 	var srv *server.Server
 	if *engineName == "reference" {

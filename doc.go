@@ -75,6 +75,28 @@
 //     concurrent runs. (*Prepared).RunSolutions returns id-space rows
 //     whose terms decode on access, for streaming serializers.
 //
+// # Morsel-driven intra-query parallelism
+//
+// A single Run additionally uses every core (sparql.WithParallelism,
+// default GOMAXPROCS; rdfserve -query-parallelism): each BGP's
+// most-selective seed scan and each hash join's probe side split into
+// fixed-size morsels — contiguous 1024-item subranges of the serial
+// iteration order (rdf.MorselBounds) — dispatched to a per-Run worker
+// pool. Each worker owns a private row arena and cancellation latch
+// and shares only immutable run state; results merge in morsel order
+// (build-left probes scatter through per-(morsel, build-row) cursors
+// computed by a counting pass), so output is byte-identical to the
+// serial evaluator at every width — TestParallelRunDeterminism pins
+// rows and order across widths 1/4/16 under the race detector. The
+// first environment to observe ctx.Done() raises a shared stop flag
+// that every worker and the dispatcher pick up at their next amortized
+// poll. Below two morsels of input everything stays serial, so the
+// serial allocation pins are untouched. LIMIT pushes below the
+// modifier pipeline: ORDER BY + LIMIT selects its K rows with a
+// bounded heap (stable-sort-identical ties, BenchmarkEvalTopK) and
+// LIMIT without ORDER BY stops morsel dispatch — and the serial scan —
+// as soon as OFFSET+LIMIT leading rows exist.
+//
 // The server itself holds one read-only rdf.Graph (single-writer/
 // many-reader: Encoded and Stats fill lazily under a lock, all other
 // read paths are lock-free), an LRU plan cache keyed by exact query
@@ -84,7 +106,8 @@
 // query's deadline, and streaming SPARQL JSON / TSV writers that
 // decode each surviving row straight into the response buffer, never
 // materializing []Binding. /healthz and /stats (plan-cache counters,
-// in-flight gauge, latency histogram) expose the service's state.
+// in-flight gauge, latency histogram, morsel-execution counters)
+// expose the service's state.
 //
 // Run the micro-benchmarks tracking these paths with
 //

@@ -58,3 +58,32 @@ func (v *EncodedView) WithPredicate(id TermID) []EncodedTriple { return v.byP[id
 // WithObject returns the encoded triples whose object is id
 // (read-only, no copy).
 func (v *EncodedView) WithObject(id TermID) []EncodedTriple { return v.byO[id] }
+
+// Morsel-able views: every slice returned by Triples, WithSubject,
+// WithPredicate, and WithObject is immutable once the view is built
+// (the single-writer/many-reader Graph contract), so a parallel
+// evaluator may scan disjoint subranges — morsels — of one view
+// concurrently without synchronization. MorselCount and MorselBounds
+// define the canonical fixed-size split every such scan uses, which
+// keeps a morsel-order merge byte-identical to a serial left-to-right
+// scan of the whole view.
+
+// MorselCount returns the number of fixed-size morsels covering n
+// items (the last morsel may be short).
+func MorselCount(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// MorselBounds returns the half-open [start, end) range of the m-th of
+// the morsels covering n items.
+func MorselBounds(m, n, size int) (start, end int) {
+	start = m * size
+	end = start + size
+	if end > n {
+		end = n
+	}
+	return start, end
+}

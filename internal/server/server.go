@@ -24,6 +24,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -48,11 +49,20 @@ type Config struct {
 	// PlanCacheSize is the capacity of the prepared-plan LRU; negative
 	// disables plan caching (every query re-parses). Default 256.
 	PlanCacheSize int
+	// QueryParallelism is the per-query morsel worker-pool width: one
+	// query's large seed scans and hash-join probes split across this
+	// many workers (sparql.WithParallelism). Default (0) is GOMAXPROCS;
+	// 1 serializes every query on its own goroutine. Results are
+	// byte-identical at every width.
+	QueryParallelism int
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 8
+	}
+	if c.QueryParallelism <= 0 {
+		c.QueryParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -146,10 +156,23 @@ func queryText(r *http.Request) (string, error) {
 	return r.PostForm.Get("query"), nil
 }
 
+// param reads a protocol parameter from wherever the client put it:
+// the URL query string or, for form POSTs, the request body. queryText
+// has already consumed the body of application/sparql-query requests,
+// so the lazy ParseForm here only sees the URL for those.
+func param(r *http.Request, name string) string {
+	if r.Form == nil {
+		if r.ParseForm() != nil {
+			return r.URL.Query().Get(name)
+		}
+	}
+	return r.Form.Get(name)
+}
+
 // responseFormat picks the serialization: an explicit format= parameter
 // wins, then the Accept header; JSON is the default.
 func responseFormat(r *http.Request) string {
-	switch r.URL.Query().Get("format") {
+	switch param(r, "format") {
 	case "json":
 		return "json"
 	case "tsv":
@@ -165,7 +188,7 @@ func responseFormat(r *http.Request) string {
 // queryTimeout resolves the per-query deadline: an explicit timeout=
 // duration parameter (capped at MaxTimeout) or the default.
 func (s *Server) queryTimeout(r *http.Request) time.Duration {
-	if t := r.URL.Query().Get("timeout"); t != "" {
+	if t := param(r, "timeout"); t != "" {
 		if d, err := time.ParseDuration(t); err == nil && d > 0 {
 			if d > s.cfg.MaxTimeout {
 				return s.cfg.MaxTimeout
@@ -258,7 +281,11 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 // run evaluates one admitted query.
 func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
 	if s.engine == nil {
-		return prep.RunSolutions(ctx, s.graph)
+		var rs sparql.RunStats
+		sol, err := prep.RunSolutions(ctx, s.graph,
+			sparql.WithParallelism(s.cfg.QueryParallelism), sparql.WithRunStats(&rs))
+		s.m.observeExec(rs)
+		return sol, err
 	}
 	s.engineMu.Lock()
 	defer s.engineMu.Unlock()
@@ -284,6 +311,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	served, failed, timeouts, rejected, hist, meanMs := s.m.snapshot()
+	parallelQueries, parallelOps, morsels := s.m.execSnapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"plan_cache": map[string]any{
@@ -291,6 +319,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":   misses,
 			"size":     size,
 			"capacity": s.cfg.PlanCacheSize,
+		},
+		"execution": map[string]any{
+			"query_parallelism":  s.cfg.QueryParallelism,
+			"parallel_queries":   parallelQueries,
+			"parallel_ops":       parallelOps,
+			"morsels_dispatched": morsels,
 		},
 		"in_flight":      s.m.inFlight.Load(),
 		"max_concurrent": s.cfg.MaxConcurrent,

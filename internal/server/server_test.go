@@ -134,6 +134,23 @@ func TestServePostForms(t *testing.T) {
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"boolean":true`) {
 		t.Fatalf("raw POST: status %d body %s", rec.Code, rec.Body.String())
 	}
+
+	// Protocol parameters carried in the form body — not the URL —
+	// must be honored too: format= picks the serialization and
+	// timeout= the deadline (an unparseable cap would fall back to the
+	// default, not error).
+	form = url.Values{
+		"query":   {`SELECT ?s WHERE { ?s <http://ex/name> "n5" }`},
+		"format":  {"tsv"},
+		"timeout": {"5s"},
+	}
+	req = httptest.NewRequest(http.MethodPost, "/sparql", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "?s") {
+		t.Fatalf("form POST with format=tsv: status %d body %q", rec.Code, rec.Body.String())
+	}
 }
 
 func TestServeConstructNTriples(t *testing.T) {
@@ -231,9 +248,14 @@ func TestHealthzAndStats(t *testing.T) {
 			Misses uint64 `json:"misses"`
 			Size   int    `json:"size"`
 		} `json:"plan_cache"`
-		InFlight int    `json:"in_flight"`
-		Served   uint64 `json:"served"`
-		Latency  struct {
+		InFlight  int    `json:"in_flight"`
+		Served    uint64 `json:"served"`
+		Execution struct {
+			QueryParallelism  int    `json:"query_parallelism"`
+			ParallelQueries   uint64 `json:"parallel_queries"`
+			MorselsDispatched uint64 `json:"morsels_dispatched"`
+		} `json:"execution"`
+		Latency struct {
 			Buckets []histogramBucket `json:"buckets"`
 		} `json:"latency"`
 	}
@@ -252,6 +274,33 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if histTotal != 3 {
 		t.Fatalf("latency histogram holds %d observations, want 3", histTotal)
+	}
+	// The 128-triple test graph is far below the morsel threshold:
+	// parallelism is configured (GOMAXPROCS default) but no morsels
+	// should have been dispatched.
+	if stats.Execution.QueryParallelism < 1 {
+		t.Fatalf("query_parallelism = %d, want >= 1", stats.Execution.QueryParallelism)
+	}
+	if stats.Execution.ParallelQueries != 0 || stats.Execution.MorselsDispatched != 0 {
+		t.Fatalf("execution stats %+v, want no morsel dispatch on a tiny graph", stats.Execution)
+	}
+}
+
+// TestStatsCountMorsels drives a morsel-sized graph through the server
+// at forced parallelism and checks the /stats execution counters move.
+func TestStatsCountMorsels(t *testing.T) {
+	var ts []rdf.Triple
+	for i := 0; i < 4096; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		ts = append(ts, rdf.Triple{S: s, P: rdf.NewIRI("http://ex/name"), O: rdf.NewLiteral(fmt.Sprintf("n%d", i))})
+	}
+	s := New(rdf.NewGraph(ts), Config{QueryParallelism: 4})
+	if rec := getQuery(t, s, `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`, "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("query status %d", rec.Code)
+	}
+	pq, ops, morsels := s.m.execSnapshot()
+	if pq != 1 || ops == 0 || morsels == 0 {
+		t.Fatalf("exec counters = (%d, %d, %d), want one parallel query with morsels", pq, ops, morsels)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sparql"
 )
 
 // latencyBucketsMs are the upper bounds (inclusive, in milliseconds) of
@@ -26,6 +28,14 @@ type metrics struct {
 	buckets   []uint64
 	count     uint64
 	totalSecs float64
+
+	// Morsel execution counters (sparql.RunStats aggregated across
+	// reference-evaluator queries): how many queries actually split
+	// work into morsels, how many parallel scans/probes they ran, and
+	// how many morsels those dispatched.
+	parallelQueries uint64
+	parallelOps     uint64
+	morsels         uint64
 }
 
 func newMetrics() *metrics {
@@ -45,6 +55,26 @@ func (m *metrics) observe(d time.Duration) {
 	m.count++
 	m.totalSecs += d.Seconds()
 	m.mu.Unlock()
+}
+
+// observeExec folds one query's morsel-execution stats into the
+// aggregate counters.
+func (m *metrics) observeExec(rs sparql.RunStats) {
+	if rs.ParallelOps == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.parallelQueries++
+	m.parallelOps += uint64(rs.ParallelOps)
+	m.morsels += uint64(rs.Morsels)
+	m.mu.Unlock()
+}
+
+// execSnapshot renders the morsel-execution counters for /stats.
+func (m *metrics) execSnapshot() (parallelQueries, parallelOps, morsels uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.parallelQueries, m.parallelOps, m.morsels
 }
 
 func (m *metrics) fail()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }

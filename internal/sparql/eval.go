@@ -38,6 +38,7 @@ func Evaluate(q *Query, g *rdf.Graph) (*Results, error) {
 
 // evaluate is the shared body of Evaluate and (*Prepared).Run.
 func evaluate(env *evalEnv, q *Query) (*Results, error) {
+	defer env.close()
 	rows, err := env.evalPattern(q.Where)
 	if err != nil {
 		return nil, err
@@ -50,7 +51,11 @@ func evaluate(env *evalEnv, q *Query) (*Results, error) {
 	// and DESCRIBE need term values for every solution, so they decode
 	// first and share the engines' modifier tail.
 	if (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil {
-		return env.applyModifiers(q, rows), nil
+		res := env.applyModifiers(q, rows)
+		if env.err != nil { // cancelled inside the pipeline (top-K scan)
+			return nil, env.err
+		}
+		return res, nil
 	}
 	decoded := env.decodeRows(rows)
 	if q.Form == FormDescribe {
@@ -81,7 +86,13 @@ func (env *evalEnv) modifierPipeline(q *Query, vars []Var, rows []slotRow) []slo
 		rows = env.distinctRows(rows)
 	}
 	if len(q.OrderBy) > 0 {
-		env.sortRows(rows, q.OrderBy)
+		topK := -1
+		if q.Limit >= 0 {
+			if k := q.Limit + q.Offset; k >= 0 { // guard vs overflow
+				topK = k
+			}
+		}
+		rows = env.sortRows(rows, q.OrderBy, topK)
 	}
 	if q.Offset > 0 {
 		if q.Offset >= len(rows) {
@@ -144,13 +155,14 @@ func (env *evalEnv) distinctRows(rows []slotRow) []slotRow {
 	return kept
 }
 
-// sortRows orders rows in place by the ORDER BY keys, with the same
-// unbound-first/last and stability semantics as Results.SortRows.
-func (env *evalEnv) sortRows(rows []slotRow, keys []OrderKey) {
-	type keySlot struct {
-		slot int
-		asc  bool
-	}
+// keySlot is one compiled ORDER BY key: the slot it reads (-1 for a
+// variable the query never binds) and its direction.
+type keySlot struct {
+	slot int
+	asc  bool
+}
+
+func (env *evalEnv) compileOrderKeys(keys []OrderKey) []keySlot {
 	ks := make([]keySlot, 0, len(keys))
 	for _, k := range keys {
 		if s, ok := env.slots[k.Var]; ok {
@@ -159,32 +171,137 @@ func (env *evalEnv) sortRows(rows []slotRow, keys []OrderKey) {
 			ks = append(ks, keySlot{-1, k.Asc})
 		}
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range ks {
-			var ti, tj rdf.TermID = unboundID, unboundID
-			if k.slot >= 0 {
-				ti, tj = rows[i][k.slot], rows[j][k.slot]
-			}
-			if ti == unboundID && tj == unboundID {
-				continue
-			}
-			if ti == unboundID {
-				return k.asc
-			}
-			if tj == unboundID {
-				return !k.asc
-			}
-			c := CompareTerms(env.terms[ti], env.terms[tj])
-			if c == 0 {
-				continue
-			}
-			if k.asc {
-				return c < 0
-			}
-			return c > 0
+	return ks
+}
+
+// compareRowsByKeys three-way-compares two rows under the ORDER BY
+// keys, with the same unbound-first/last semantics as Results.SortRows:
+// an unbound value sorts before every bound value ascending and after
+// every bound value descending.
+func (env *evalEnv) compareRowsByKeys(a, b slotRow, ks []keySlot) int {
+	for _, k := range ks {
+		var ta, tb rdf.TermID = unboundID, unboundID
+		if k.slot >= 0 {
+			ta, tb = a[k.slot], b[k.slot]
 		}
-		return false
+		if ta == unboundID && tb == unboundID {
+			continue
+		}
+		if ta == unboundID {
+			if k.asc {
+				return -1
+			}
+			return 1
+		}
+		if tb == unboundID {
+			if k.asc {
+				return 1
+			}
+			return -1
+		}
+		c := CompareTerms(env.terms[ta], env.terms[tb])
+		if c == 0 {
+			continue
+		}
+		if !k.asc {
+			c = -c
+		}
+		return c
+	}
+	return 0
+}
+
+// sortRows orders rows by the ORDER BY keys, with the same
+// unbound-first/last and stability semantics as Results.SortRows, and
+// returns the surviving prefix. topK < 0 (or >= len(rows)) requests
+// the full stable sort in place. 0 <= topK < len(rows) — ORDER BY with
+// a LIMIT (+ OFFSET) that keeps only the first topK rows — selects and
+// orders those rows with a bounded max-heap instead of sorting the
+// whole sequence: O(n log k) comparisons and one k-entry scratch
+// allocation instead of O(n log n) over everything. Ties break on the
+// original row index, which is exactly the order a stable full sort
+// followed by truncation would produce.
+func (env *evalEnv) sortRows(rows []slotRow, keys []OrderKey, topK int) []slotRow {
+	ks := env.compileOrderKeys(keys)
+	if topK >= 0 && topK < len(rows) {
+		return env.topKRows(rows, ks, topK)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return env.compareRowsByKeys(rows[i], rows[j], ks) < 0
 	})
+	return rows
+}
+
+// heapEnt is one bounded-heap entry: a candidate row and its original
+// index (the stability tie-break).
+type heapEnt struct {
+	row slotRow
+	idx int
+}
+
+// entBefore reports whether a sorts strictly before b under the keys,
+// breaking ties by original position (stable-sort order).
+func (env *evalEnv) entBefore(a, b heapEnt, ks []keySlot) bool {
+	if c := env.compareRowsByKeys(a.row, b.row, ks); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+
+// siftDown restores the max-heap property (largest entry at the root)
+// from position i.
+func (env *evalEnv) siftDown(h []heapEnt, i int, ks []keySlot) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(h) && env.entBefore(h[l], h[r], ks) {
+			big = r
+		}
+		if !env.entBefore(h[i], h[big], ks) {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// topKRows writes the k smallest rows (under ks + stable tie-break),
+// in sorted order, into rows[:k] and returns that prefix. It maintains
+// a k-entry max-heap whose root is the worst candidate: a new row
+// enters only by beating the root, and a final heap-sort pass orders
+// the survivors.
+func (env *evalEnv) topKRows(rows []slotRow, ks []keySlot, k int) []slotRow {
+	if k == 0 {
+		return rows[:0]
+	}
+	h := make([]heapEnt, k)
+	for i := 0; i < k; i++ {
+		h[i] = heapEnt{rows[i], i}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		env.siftDown(h, i, ks)
+	}
+	for i := k; i < len(rows); i++ {
+		if env.interrupted() {
+			break
+		}
+		if e := (heapEnt{rows[i], i}); env.entBefore(e, h[0], ks) {
+			h[0] = e
+			env.siftDown(h, 0, ks)
+		}
+	}
+	for n := k - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		env.siftDown(h[:n], 0, ks)
+	}
+	out := rows[:k]
+	for i, e := range h {
+		out[i] = e.row
+	}
+	return out
 }
 
 // evalEnv is the per-query compilation environment: the slot table,
@@ -210,6 +327,22 @@ type evalEnv struct {
 	tick uint
 	err  error
 
+	// Morsel-driven parallelism ((*Prepared).Run with parallelism > 1,
+	// see parallel.go): par carries the shared per-Run state (worker
+	// count, cross-worker cancellation latch, stats counters) and pool
+	// the lazily started per-Run worker pool. Both are nil for serial
+	// evaluation, which then takes exactly the PR 1–3 code paths.
+	par  *parRun
+	pool *workerPool
+
+	// limitHint, when > 0, is the number of leading rows the modifier
+	// pipeline will keep (LIMIT + OFFSET, or 1 for ASK) for queries
+	// whose WHERE clause is a single BGP and whose modifiers only
+	// truncate (no DISTINCT, no ORDER BY): the BGP's last pattern — and
+	// the morsel dispatcher under it — may stop producing once that
+	// many rows exist.
+	limitHint int
+
 	// Plan reuse ((*Prepared).Run): prep, when non-nil, caches each
 	// BGP's compiled-and-ordered patterns across runs, keyed by the
 	// graph snapshot. bgpSeq numbers evalBGP calls in (deterministic)
@@ -226,7 +359,11 @@ const cancelCheckEvery = 1024
 
 // interrupted reports whether the evaluation has been cancelled,
 // polling the context at most once per cancelCheckEvery calls. Once it
-// returns true it keeps returning true (the error is latched).
+// returns true it keeps returning true (the error is latched). Under a
+// parallel run the latch spans workers: the first environment — main
+// or worker — to observe ctx.Done() raises the shared parRun.stop
+// flag, and every other environment picks it up at its own next poll,
+// so one poll every 1024 rows per worker still stops the whole Run.
 func (env *evalEnv) interrupted() bool {
 	if env.err != nil {
 		return true
@@ -237,9 +374,16 @@ func (env *evalEnv) interrupted() bool {
 	if env.tick++; env.tick&(cancelCheckEvery-1) != 0 {
 		return false
 	}
+	if env.par != nil && env.par.stop.Load() {
+		env.err = env.ctx.Err()
+		return true
+	}
 	select {
 	case <-env.ctx.Done():
 		env.err = env.ctx.Err()
+		if env.par != nil {
+			env.par.stop.Store(true)
+		}
 		return true
 	default:
 		return false
@@ -290,12 +434,58 @@ func newEvalEnv(q *Query, g *rdf.Graph) *evalEnv {
 	}
 	view := g.Encoded()
 	return &evalEnv{
-		g:     g,
-		view:  view,
-		terms: view.Dict().Terms(),
-		slots: slots,
-		vars:  vars,
-		stats: g.Stats(),
+		g:         g,
+		view:      view,
+		terms:     view.Dict().Terms(),
+		slots:     slots,
+		vars:      vars,
+		stats:     g.Stats(),
+		limitHint: limitHintFor(q),
+	}
+}
+
+// limitHintFor computes the LIMIT-pushdown hint of a query: the number
+// of leading pattern rows the modifier pipeline keeps, or 0 when
+// truncation cannot be pushed below the modifiers. The hint is only
+// sound when the WHERE clause is a single BGP (its output feeds the
+// pipeline directly — joins above a BGP could drop or multiply rows)
+// and when every modifier preserves the leading rows: projection
+// always does, DISTINCT and ORDER BY do not. ASK needs exactly one
+// row; SELECT needs OFFSET+LIMIT.
+func limitHintFor(q *Query) int {
+	if q.Agg != nil || q.Distinct || len(q.OrderBy) > 0 || !isSoleBGP(q.Where) {
+		return 0
+	}
+	switch q.Form {
+	case FormAsk:
+		return 1
+	case FormSelect:
+		if q.Limit >= 0 {
+			if n := q.Limit + q.Offset; n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// isSoleBGP reports whether the pattern is exactly one BGP, possibly
+// wrapped in single-part groups. (Unlike Query.BGPOf it rejects a
+// conjunction of several BGPs: those evaluate as a join fold, so the
+// last BGP's output is not the final row sequence.)
+func isSoleBGP(p GraphPattern) bool {
+	for {
+		switch n := p.(type) {
+		case BGP:
+			return true
+		case Group:
+			if len(n.Parts) != 1 {
+				return false
+			}
+			p = n.Parts[0]
+		default:
+			return false
+		}
 	}
 }
 
@@ -420,21 +610,24 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Right-side rows are copied through the arena rather than
-		// appended directly. This establishes the invariant that the
-		// two branches never share row storage in the combined
-		// sequence: rows are immutable once produced today, but any
-		// future in-place row modifier (e.g. a projection clearing
-		// slots in place) would otherwise alias across branches.
-		out := make([]slotRow, 0, len(left)+len(right))
-		out = append(out, left...)
-		for _, r := range right {
-			out = append(out, env.newRow(r))
-		}
-		return out, nil
+		return env.unionRows(left, right), nil
 	default:
 		return nil, fmt.Errorf("sparql: cannot evaluate pattern %T", p)
 	}
+}
+
+// unionRows concatenates the two branches of a UNION, sharing both
+// branches' slot-row batches: the right-side rows are referenced, not
+// copied through the arena. This leans on the engine-wide invariant
+// that rows are immutable once produced — every downstream operator
+// that rewrites a row (projection, merge) allocates a fresh one, and
+// in-place operators (Filter's compaction, sortRows) only permute the
+// row *slice*, which is freshly built here. TestUnionSharedBatchAllocs
+// pins the no-copy behavior.
+func (env *evalEnv) unionRows(left, right []slotRow) []slotRow {
+	out := make([]slotRow, 0, len(left)+len(right))
+	out = append(out, left...)
+	return append(out, right...)
 }
 
 // compatibleRows reports whether two rows agree on every slot bound in
@@ -590,8 +783,17 @@ func (env *evalEnv) joinRows(a, b []slotRow) []slotRow {
 	if len(key) == 0 {
 		return env.nestedJoinRows(a, b)
 	}
+	// The probe side of either hash variant splits into morsels under a
+	// parallel run (parallel.go); the build pass, the fallback nested
+	// loop, and small probes stay serial.
 	if len(b) <= len(a) {
+		if env.canParallel(len(a)) {
+			return env.hashJoinBuildRightPar(a, b, key)
+		}
 		return env.hashJoinBuildRight(a, b, key)
+	}
+	if env.canParallel(len(b)) {
+		return env.hashJoinBuildLeftPar(a, b, key)
 	}
 	return env.hashJoinBuildLeft(a, b, key)
 }
@@ -715,7 +917,13 @@ func (env *evalEnv) optionalRows(left, right []slotRow) []slotRow {
 		return env.nestedOptionalRows(left, right)
 	}
 	if len(right) <= len(left) {
+		if env.canParallel(len(left)) {
+			return env.hashOptionalBuildRightPar(left, right, key)
+		}
 		return env.hashOptionalBuildRight(left, right, key)
+	}
+	if env.canParallel(len(right)) {
+		return env.hashOptionalBuildLeftPar(left, right, key)
 	}
 	return env.hashOptionalBuildLeft(left, right, key)
 }
@@ -1033,27 +1241,63 @@ func orderPatterns(cps []cPattern, nslots int) []cPattern {
 // evalBGP evaluates a conjunction of triple patterns by iterated
 // selection and join over the encoded indexes, visiting patterns in
 // selectivity order. Prepared runs reuse the compiled-and-ordered
-// pattern list across calls via planFor.
+// pattern list across calls via planFor. The first (most selective)
+// pattern — the seed scan — runs over a single empty row and may be
+// split into candidate morsels under a parallel run; when the query's
+// limitHint applies, the last pattern stops producing once enough
+// leading rows exist (LIMIT pushdown below the modifier pipeline).
 func (env *evalEnv) evalBGP(b BGP) []slotRow {
 	seq := env.bgpSeq
 	env.bgpSeq++
 	cps := env.planFor(seq, b)
 	rows := []slotRow{env.emptyRow()}
 	scratch := env.emptyRow()
-	for _, cp := range cps {
-		next := make([]slotRow, 0, len(rows))
-		for _, row := range rows {
-			next = env.matchPattern(cp, row, scratch, next)
-			if env.err != nil {
-				return nil
-			}
+	for i, cp := range cps {
+		max := 0
+		if i == len(cps)-1 {
+			// limitHint is only set when this BGP is the whole WHERE
+			// clause, so its last pattern emits the final row sequence.
+			max = env.limitHint
 		}
-		rows = next
+		if i == 0 {
+			rows = env.seedScan(cp, rows[0], scratch, max)
+		} else {
+			next := make([]slotRow, 0, len(rows))
+			for _, row := range rows {
+				next = env.matchPattern(cp, row, scratch, next)
+				if env.err != nil {
+					return nil
+				}
+				if max > 0 && len(next) >= max {
+					break
+				}
+			}
+			rows = next
+		}
+		if env.err != nil {
+			return nil
+		}
 		if len(rows) == 0 {
 			break
 		}
 	}
 	return rows
+}
+
+// seedScan evaluates the BGP's first pattern against the empty row,
+// splitting the candidate view into morsels when the run is parallel
+// and the scan is large enough to amortize dispatch. max > 0 bounds
+// how many rows are needed (LIMIT pushdown); a small bound keeps the
+// scan serial so it can stop exactly at max rows.
+func (env *evalEnv) seedScan(cp cPattern, row, scratch slotRow, max int) []slotRow {
+	ps := env.preparePatternScan(cp, row)
+	if ps.miss {
+		return nil
+	}
+	if env.canParallel(len(ps.candidates)) && !(max > 0 && max <= morselSize) {
+		return env.seedScanPar(&ps, row, max)
+	}
+	return env.scanPattern(&ps, row, scratch, ps.candidates, max, make([]slotRow, 0, 1))
 }
 
 // planFor returns the compiled, selectivity-ordered patterns of the
@@ -1090,41 +1334,78 @@ func elemID(e cElem, row slotRow) (id rdf.TermID, bound, miss bool) {
 	return id, id != unboundID, false
 }
 
-// matchPattern appends to out every extension of row by a triple
-// matching cp. scratch must be a row-sized buffer; it is clobbered.
-func (env *evalEnv) matchPattern(cp cPattern, row slotRow, scratch slotRow, out []slotRow) []slotRow {
-	sID, sBound, sMiss := elemID(cp.s, row)
-	pID, pBound, pMiss := elemID(cp.p, row)
-	oID, oBound, oMiss := elemID(cp.o, row)
+// patternScan is one pattern's resolved scan: the ids each position
+// must match under the current row, and the smallest applicable index
+// view to scan. It is immutable once prepared, so parallel morsels of
+// one scan share it read-only.
+type patternScan struct {
+	cp                     cPattern
+	sID, pID, oID          rdf.TermID
+	sBound, pBound, oBound bool
+	miss                   bool
+	candidates             []rdf.EncodedTriple
+}
+
+// preparePatternScan resolves cp's positions under row and picks the
+// smallest applicable index as the candidate view.
+func (env *evalEnv) preparePatternScan(cp cPattern, row slotRow) patternScan {
+	ps := patternScan{cp: cp}
+	var sMiss, pMiss, oMiss bool
+	ps.sID, ps.sBound, sMiss = elemID(cp.s, row)
+	ps.pID, ps.pBound, pMiss = elemID(cp.p, row)
+	ps.oID, ps.oBound, oMiss = elemID(cp.o, row)
 	if sMiss || pMiss || oMiss {
-		return out
+		ps.miss = true
+		return ps
 	}
 	// Scan the smallest applicable index.
 	candidates := env.view.Triples()
-	if sBound {
-		candidates = env.view.WithSubject(sID)
+	if ps.sBound {
+		candidates = env.view.WithSubject(ps.sID)
 	}
-	if oBound {
-		if byO := env.view.WithObject(oID); len(byO) < len(candidates) {
+	if ps.oBound {
+		if byO := env.view.WithObject(ps.oID); len(byO) < len(candidates) {
 			candidates = byO
 		}
 	}
-	if pBound {
-		if byP := env.view.WithPredicate(pID); len(byP) < len(candidates) {
+	if ps.pBound {
+		if byP := env.view.WithPredicate(ps.pID); len(byP) < len(candidates) {
 			candidates = byP
 		}
 	}
-	for _, t := range candidates {
+	ps.candidates = candidates
+	return ps
+}
+
+// matchPattern appends to out every extension of row by a triple
+// matching cp. scratch must be a row-sized buffer; it is clobbered.
+func (env *evalEnv) matchPattern(cp cPattern, row slotRow, scratch slotRow, out []slotRow) []slotRow {
+	ps := env.preparePatternScan(cp, row)
+	if ps.miss {
+		return out
+	}
+	return env.scanPattern(&ps, row, scratch, ps.candidates, 0, out)
+}
+
+// scanPattern appends to out every extension of row by a candidate
+// triple matching the prepared scan. cands is the (sub)range of
+// ps.candidates to visit — parallel seed scans pass one morsel each —
+// and max > 0 stops the scan once out holds max rows (LIMIT pushdown).
+// scratch is clobbered. ps is read-only, so concurrent morsels of the
+// same scan may share it.
+func (env *evalEnv) scanPattern(ps *patternScan, row, scratch slotRow, cands []rdf.EncodedTriple, max int, out []slotRow) []slotRow {
+	cp := ps.cp
+	for _, t := range cands {
 		if env.interrupted() {
 			return out
 		}
-		if sBound && t.S != sID {
+		if ps.sBound && t.S != ps.sID {
 			continue
 		}
-		if pBound && t.P != pID {
+		if ps.pBound && t.P != ps.pID {
 			continue
 		}
-		if oBound && t.O != oID {
+		if ps.oBound && t.O != ps.oID {
 			continue
 		}
 		// Bind the variable positions, checking consistency for
@@ -1147,6 +1428,9 @@ func (env *evalEnv) matchPattern(cp cPattern, row slotRow, scratch slotRow, out 
 		}
 		if ok {
 			out = append(out, env.newRow(scratch))
+			if max > 0 && len(out) >= max {
+				return out
+			}
 		}
 	}
 	return out

@@ -1,0 +1,486 @@
+package sparql
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rdf"
+)
+
+// Morsel-driven intra-query parallelism. A (*Prepared).Run with
+// parallelism > 1 splits its two bulk producers — each BGP's
+// most-selective seed scan and each id-space hash join's probe side —
+// into fixed-size morsels dispatched to a per-Run worker pool. The
+// contract that keeps parallel output byte-identical to the serial
+// evaluator:
+//
+//   - Morsels are contiguous subranges of the serial iteration order
+//     (candidate triples of the seed scan's index view, probe-side
+//     rows of a hash join), split by rdf.MorselBounds.
+//   - Each worker owns a private evaluation environment — its own row
+//     arena, cancellation tick, and error latch — and shares only the
+//     immutable run state (slot table, encoded view, compiled scan,
+//     build-side hash table). Rows a worker produces stay valid after
+//     the pool is gone; arenas amortize across every morsel a worker
+//     runs.
+//   - Results merge in morsel order: seed scans and build-right
+//     probes concatenate per-morsel output buffers; build-left probes
+//     scatter through per-(morsel, build-row) write cursors computed
+//     from a counting pass, so the a-major/b-suborder of the serial
+//     scatter is reproduced exactly.
+//   - Cancellation latches across workers: the first environment to
+//     observe ctx.Done() raises parRun.stop, every other worker sees
+//     it at its next amortized poll (1/1024 rows), and the dispatcher
+//     stops handing out morsels.
+//
+// The nested-loop fallback (cartesian joins, bindings partial on the
+// build key) and every probe below parMinWork stay serial, so the
+// serial path's allocation pins are untouched.
+
+const (
+	// morselSize is the number of input items (candidate triples of a
+	// seed scan, probe-side rows of a hash join) one morsel covers.
+	morselSize = 1024
+	// parMinWork is the smallest input worth splitting: below two
+	// morsels the dispatch overhead outweighs the parallelism.
+	parMinWork = 2 * morselSize
+)
+
+// parRun is the state one parallel Run shares across its workers: the
+// configured width, the cross-worker cancellation latch, and the
+// morsel accounting surfaced through RunStats.
+type parRun struct {
+	n       int         // worker-pool size
+	stop    atomic.Bool // latched: some environment observed ctx.Done()
+	ops     atomic.Int64
+	morsels atomic.Int64
+}
+
+// RunStats reports how one Run executed. Request it with WithRunStats.
+type RunStats struct {
+	// Parallelism is the resolved worker-pool width of the run (1 for
+	// a serial run).
+	Parallelism int
+	// ParallelOps counts the scans and probe passes that were actually
+	// dispatched as morsels; 0 means the whole run stayed serial.
+	ParallelOps int64
+	// Morsels counts the morsels dispatched across those operations.
+	Morsels int64
+}
+
+// runOpts collects the per-Run options.
+type runOpts struct {
+	parallelism int
+	stats       *RunStats
+}
+
+// RunOption tunes one (*Prepared).Run / RunSolutions call.
+type RunOption func(*runOpts)
+
+// WithParallelism sets the run's worker-pool width. n <= 0 means
+// GOMAXPROCS (the default); 1 forces fully serial evaluation.
+func WithParallelism(n int) RunOption {
+	return func(o *runOpts) { o.parallelism = n }
+}
+
+// WithRunStats makes the run fill s with its execution counters just
+// before returning.
+func WithRunStats(s *RunStats) RunOption {
+	return func(o *runOpts) { o.stats = s }
+}
+
+func resolveRunOpts(opts []RunOption) runOpts {
+	var o runOpts
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	if o.parallelism <= 0 {
+		o.parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// configureParallel arms the environment for morsel dispatch. Width 1
+// leaves env.par nil: the run takes exactly the serial code paths.
+func (env *evalEnv) configureParallel(o *runOpts) {
+	if o.parallelism > 1 {
+		env.par = &parRun{n: o.parallelism}
+	}
+}
+
+// capture fills the caller's RunStats after the run.
+func (o *runOpts) capture(env *evalEnv) {
+	if o.stats == nil {
+		return
+	}
+	*o.stats = RunStats{Parallelism: 1}
+	if env.par != nil {
+		o.stats.Parallelism = env.par.n
+		o.stats.ParallelOps = env.par.ops.Load()
+		o.stats.Morsels = env.par.morsels.Load()
+	}
+}
+
+// canParallel reports whether a bulk operation over n input items
+// should be split into morsels.
+func (env *evalEnv) canParallel(n int) bool {
+	return env.par != nil && env.par.n > 1 && n >= parMinWork
+}
+
+// workerEnv derives a worker's private environment: fresh arena, tick,
+// and error latch over the shared immutable run state.
+func (env *evalEnv) workerEnv() *evalEnv {
+	return &evalEnv{
+		g:     env.g,
+		view:  env.view,
+		terms: env.terms,
+		slots: env.slots,
+		vars:  env.vars,
+		stats: env.stats,
+		ctx:   env.ctx,
+		par:   env.par,
+	}
+}
+
+// poolTask is one morsel handed to the pool: the work and the
+// operation's completion group.
+type poolTask struct {
+	fn func(w *evalEnv)
+	wg *sync.WaitGroup
+}
+
+// workerPool is the per-Run pool: n goroutines, each bound to one
+// worker environment for the lifetime of the run (so worker arenas
+// amortize across operations), pulling morsels off an unbuffered
+// channel. The unbuffered send doubles as backpressure — the
+// dispatcher re-checks the limit short-circuit and the cancellation
+// latch between sends.
+type workerPool struct {
+	tasks chan poolTask
+}
+
+func newWorkerPool(parent *evalEnv, n int) *workerPool {
+	p := &workerPool{tasks: make(chan poolTask)}
+	for i := 0; i < n; i++ {
+		w := parent.workerEnv()
+		go func() {
+			for t := range p.tasks {
+				t.fn(w)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// close releases the pool's goroutines. Safe to call on a serial
+// environment or twice; rows produced by workers remain valid.
+func (env *evalEnv) close() {
+	if env.pool != nil {
+		close(env.pool.tasks)
+		env.pool = nil
+	}
+}
+
+// runMorsels dispatches morsels [0, total) to the pool and waits for
+// the dispatched ones to finish. mk builds the m-th morsel's task;
+// tasks run concurrently and must write only morsel-private state.
+// When needed > 0 and produced is non-nil, dispatch short-circuits as
+// soon as produced (the tasks' shared output-row counter) reaches
+// needed — the LIMIT pushdown. Returns how many morsels were
+// dispatched and latches any cross-worker cancellation into env.err.
+func (env *evalEnv) runMorsels(total, needed int, produced *atomic.Int64, mk func(m int) func(w *evalEnv)) int {
+	if env.pool == nil {
+		env.pool = newWorkerPool(env, env.par.n)
+	}
+	var wg sync.WaitGroup
+	dispatched := 0
+	for m := 0; m < total; m++ {
+		if env.par.stop.Load() {
+			break
+		}
+		if needed > 0 && produced != nil && produced.Load() >= int64(needed) {
+			break
+		}
+		wg.Add(1)
+		env.pool.tasks <- poolTask{fn: mk(m), wg: &wg}
+		dispatched++
+	}
+	wg.Wait()
+	env.par.ops.Add(1)
+	env.par.morsels.Add(int64(dispatched))
+	if env.par.stop.Load() && env.err == nil && env.ctx != nil {
+		env.err = env.ctx.Err()
+	}
+	return dispatched
+}
+
+// mergeMorsels concatenates per-morsel output buffers in morsel order
+// (= serial order). Returns nil for an empty result, like the serial
+// join paths.
+func mergeMorsels(outs [][]slotRow) []slotRow {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([]slotRow, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}
+
+// seedScanPar splits a seed scan's candidate view into morsels. Each
+// morsel scans its contiguous candidate range into a private buffer
+// (rows from the worker's arena); the merge concatenates buffers in
+// morsel order, so the result is the serial scan's row order exactly.
+// max > 0 is the LIMIT pushdown bound: dispatch stops once the morsels
+// already finished have produced enough leading rows, and each morsel
+// caps itself at max (its contribution to the kept prefix can never
+// exceed that).
+func (env *evalEnv) seedScanPar(ps *patternScan, row slotRow, max int) []slotRow {
+	n := len(ps.candidates)
+	total := rdf.MorselCount(n, morselSize)
+	outs := make([][]slotRow, total)
+	var produced atomic.Int64
+	dispatched := env.runMorsels(total, max, &produced, func(m int) func(w *evalEnv) {
+		start, end := rdf.MorselBounds(m, n, morselSize)
+		return func(w *evalEnv) {
+			scratch := w.emptyRow()
+			out := w.scanPattern(ps, row, scratch, ps.candidates[start:end], max, nil)
+			outs[m] = out
+			produced.Add(int64(len(out)))
+		}
+	})
+	if env.err != nil {
+		return nil
+	}
+	merged := mergeMorsels(outs[:dispatched])
+	if merged == nil {
+		// Serial seed scans yield an empty non-nil slice; callers only
+		// check len, but stay consistent.
+		merged = []slotRow{}
+	}
+	return merged
+}
+
+// hashJoinBuildRightPar is hashJoinBuildRight with the probe side (a)
+// split into morsels: the build pass stays serial, each morsel counts
+// and emits its contiguous a-range into a private buffer, and buffers
+// concatenate in morsel order — a-major with b-suborder, exactly the
+// serial output.
+func (env *evalEnv) hashJoinBuildRightPar(a, b []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(b, key)
+	n := len(a)
+	total := rdf.MorselCount(n, morselSize)
+	outs := make([][]slotRow, total)
+	env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+		start, end := rdf.MorselBounds(m, n, morselSize)
+		return func(w *evalEnv) {
+			var out []slotRow
+			for _, x := range a[start:end] {
+				if w.interrupted() {
+					break
+				}
+				h := rowKeyHash(x, key) & mask
+				for yi := head[h]; yi >= 0; yi = next[yi] {
+					if y := b[yi]; compatibleRows(x, y) {
+						out = append(out, w.mergeRows(x, y))
+					}
+				}
+			}
+			outs[m] = out
+		}
+	})
+	if env.err != nil {
+		return nil
+	}
+	return mergeMorsels(outs)
+}
+
+// hashOptionalBuildRightPar mirrors hashOptionalBuildRight: morsels
+// over the probe (left) side, unmatched left rows passing through
+// uncopied inside their morsel's buffer.
+func (env *evalEnv) hashOptionalBuildRightPar(left, right []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(right, key)
+	n := len(left)
+	total := rdf.MorselCount(n, morselSize)
+	outs := make([][]slotRow, total)
+	env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+		start, end := rdf.MorselBounds(m, n, morselSize)
+		return func(w *evalEnv) {
+			out := make([]slotRow, 0, end-start)
+			for _, l := range left[start:end] {
+				if w.interrupted() {
+					break
+				}
+				h := rowKeyHash(l, key) & mask
+				matched := false
+				for ri := head[h]; ri >= 0; ri = next[ri] {
+					if r := right[ri]; compatibleRows(l, r) {
+						out = append(out, w.mergeRows(l, r))
+						matched = true
+					}
+				}
+				if !matched {
+					out = append(out, l)
+				}
+			}
+			outs[m] = out
+		}
+	})
+	if env.err != nil {
+		return nil
+	}
+	return mergeMorsels(outs)
+}
+
+// scatterMorselSpan picks the morsel size for the build-left scatter
+// probes, whose counting pass needs one int32 per (morsel, build row):
+// the standard morselSize, grown as needed to cap the morsel count at
+// 4 morsels per worker so the cursor matrix stays O(par · build side).
+func scatterMorselSpan(n, par int) (size, count int) {
+	size = morselSize
+	if maxCount := 4 * par; rdf.MorselCount(n, size) > maxCount {
+		size = (n + maxCount - 1) / maxCount
+	}
+	return size, rdf.MorselCount(n, size)
+}
+
+// hashJoinBuildLeftPar is hashJoinBuildLeft with the probe side (b)
+// split into morsels. The serial variant's counting pass generalizes
+// to a cursor matrix: morsel m counts its matches per build row,
+// cursors[m][xi] then becomes the exact output offset of morsel m's
+// first match for build row xi (a-major, morsels of b in order), and
+// the emit pass scatters through those cursors — every (m, xi) writes
+// a disjoint output range, and the order is byte-identical to serial.
+func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(a, key)
+	la, n := len(a), len(b)
+	size, total := scatterMorselSpan(n, env.par.n)
+	cursors := make([]int32, total*la)
+	probe := func(emit bool, out []slotRow) {
+		env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+			start, end := rdf.MorselBounds(m, n, size)
+			cur := cursors[m*la : (m+1)*la]
+			return func(w *evalEnv) {
+				for _, y := range b[start:end] {
+					if w.interrupted() {
+						return
+					}
+					h := rowKeyHash(y, key) & mask
+					for xi := head[h]; xi >= 0; xi = next[xi] {
+						if x := a[xi]; compatibleRows(x, y) {
+							if emit {
+								out[cur[xi]] = w.mergeRows(x, y)
+							}
+							cur[xi]++
+						}
+					}
+				}
+			}
+		})
+	}
+	probe(false, nil)
+	if env.err != nil {
+		return nil
+	}
+	// Turn counts into write cursors: a-major, then morsel order.
+	pos := int32(0)
+	for xi := 0; xi < la; xi++ {
+		for m := 0; m < total; m++ {
+			c := cursors[m*la+xi]
+			cursors[m*la+xi] = pos
+			pos += c
+		}
+	}
+	if pos == 0 {
+		return nil
+	}
+	out := make([]slotRow, pos)
+	probe(true, out)
+	if env.err != nil {
+		// Incomplete scatter: nil holes remain, return nothing (the
+		// latched error aborts the evaluation).
+		return nil
+	}
+	return out
+}
+
+// hashOptionalBuildLeftPar is hashOptionalBuildLeft with the probe
+// (right) side split into morsels, using the same cursor matrix as
+// hashJoinBuildLeftPar; unmatched left rows take their single output
+// slot during the serial cursor walk, exactly where the serial scatter
+// places them.
+func (env *evalEnv) hashOptionalBuildLeftPar(left, right []slotRow, key []int) []slotRow {
+	head, next, mask := buildJoinTable(left, key)
+	ll, n := len(left), len(right)
+	size, total := scatterMorselSpan(n, env.par.n)
+	cursors := make([]int32, total*ll)
+	probe := func(emit bool, out []slotRow) {
+		env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+			start, end := rdf.MorselBounds(m, n, size)
+			cur := cursors[m*ll : (m+1)*ll]
+			return func(w *evalEnv) {
+				for _, r := range right[start:end] {
+					if w.interrupted() {
+						return
+					}
+					h := rowKeyHash(r, key) & mask
+					for li := head[h]; li >= 0; li = next[li] {
+						if l := left[li]; compatibleRows(l, r) {
+							if emit {
+								out[cur[li]] = w.mergeRows(l, r)
+							}
+							cur[li]++
+						}
+					}
+				}
+			}
+		})
+	}
+	probe(false, nil)
+	if env.err != nil {
+		return nil
+	}
+	// Size the output (unmatched lefts pass through with one slot
+	// each), then turn counts into write cursors.
+	outLen := 0
+	for li := 0; li < ll; li++ {
+		matches := 0
+		for m := 0; m < total; m++ {
+			matches += int(cursors[m*ll+li])
+		}
+		if matches == 0 {
+			outLen++
+		} else {
+			outLen += matches
+		}
+	}
+	out := make([]slotRow, outLen)
+	pos := int32(0)
+	for li := 0; li < ll; li++ {
+		colStart := pos
+		for m := 0; m < total; m++ {
+			c := cursors[m*ll+li]
+			cursors[m*ll+li] = pos
+			pos += c
+		}
+		if pos == colStart { // no matches: the left row passes through
+			out[pos] = left[li]
+			pos++
+		}
+	}
+	probe(true, out)
+	if env.err != nil {
+		// Incomplete scatter: nil holes remain (see above).
+		return nil
+	}
+	return out
+}

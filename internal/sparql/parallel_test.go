@@ -1,0 +1,309 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// parTestGraph builds n subjects with a unique name, an 8-way tied
+// age, and (for every third subject) a knows edge — enough rows to
+// push seed scans and both hash-join build sides over the parallel
+// threshold, with sparse predicates to exercise OPTIONAL pass-through.
+func parTestGraph(n int) *rdf.Graph {
+	ts := make([]rdf.Triple, 0, 3*n)
+	name := rdf.NewIRI("http://ex/name")
+	age := rdf.NewIRI("http://ex/age")
+	knows := rdf.NewIRI("http://ex/knows")
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		ts = append(ts,
+			rdf.Triple{S: s, P: name, O: rdf.NewLiteral(fmt.Sprintf("n%05d", i))},
+			rdf.Triple{S: s, P: age, O: rdf.NewTypedLiteral(fmt.Sprint(20+i%8), rdf.XSDInteger)},
+		)
+		if i%3 == 0 {
+			ts = append(ts, rdf.Triple{S: s, P: knows, O: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", (i+1)%n))})
+		}
+	}
+	return rdf.NewGraph(ts)
+}
+
+// TestParallelRunDeterminism pins the morsel contract: for every query
+// shape the evaluator parallelizes (seed scans, build-right and
+// build-left hash joins and OPTIONALs, UNION, top-K, LIMIT pushdown),
+// a Run at parallelism 1, 4, and 16 must return the same rows in the
+// same order. Run under -race this also exercises the worker pool's
+// sharing discipline.
+func TestParallelRunDeterminism(t *testing.T) {
+	g := parTestGraph(8192)
+	queries := []string{
+		// Seed scan + serial extension.
+		`SELECT ?s ?n ?a WHERE { ?s <http://ex/name> ?n . ?s <http://ex/age> ?a }`,
+		// Group join, equal sides: build-right parallel probe.
+		`SELECT * WHERE { { ?s <http://ex/name> ?n } { ?s <http://ex/age> ?a } }`,
+		// Group join, small left: build-left parallel scatter probe.
+		`SELECT * WHERE { { ?s <http://ex/knows> ?k } { ?s <http://ex/age> ?a } }`,
+		// OPTIONAL, big left: build-right probe with pass-through rows.
+		`SELECT * WHERE { { ?s <http://ex/name> ?n } OPTIONAL { ?s <http://ex/knows> ?k } }`,
+		// OPTIONAL, big right: build-left scatter with pass-through.
+		`SELECT * WHERE { { ?s <http://ex/knows> ?k } OPTIONAL { ?s <http://ex/age> ?a } }`,
+		// UNION (shared batches) + FILTER compaction above it.
+		`SELECT ?s ?v WHERE { { { ?s <http://ex/name> ?v } UNION { ?s <http://ex/age> ?v } } FILTER(?v != "n00003") }`,
+		// ORDER BY + LIMIT: bounded top-K over tied keys.
+		`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a DESC(?s) LIMIT 17 OFFSET 5`,
+		// LIMIT pushdown without ORDER BY: morsel short-circuit.
+		`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n } LIMIT 3000 OFFSET 100`,
+		`ASK { ?s <http://ex/knows> ?k }`,
+	}
+	for qi, text := range queries {
+		prep, err := Prepare(text)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		var base *Results
+		for _, par := range []int{1, 4, 16} {
+			res, err := prep.Run(context.Background(), g, WithParallelism(par))
+			if err != nil {
+				t.Fatalf("query %d par %d: %v", qi, par, err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if res.IsAsk != base.IsAsk || res.Ask != base.Ask {
+				t.Fatalf("query %d par %d: ASK answer diverged", qi, par)
+			}
+			a, b := base.OrderedCanonical(), res.OrderedCanonical()
+			if len(a) != len(b) {
+				t.Fatalf("query %d par %d: %d rows, want %d", qi, par, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("query %d par %d: row %d = %q, want %q", qi, par, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunReportsStats checks that a parallel run over morsel-
+// sized inputs actually dispatches morsels and reports them, and that
+// a serial run reports none.
+func TestParallelRunReportsStats(t *testing.T) {
+	g := parTestGraph(8192)
+	prep := MustPrepare(t, `SELECT * WHERE { { ?s <http://ex/name> ?n } { ?s <http://ex/age> ?a } }`)
+	var rs RunStats
+	if _, err := prep.Run(context.Background(), g, WithParallelism(4), WithRunStats(&rs)); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Parallelism != 4 || rs.ParallelOps == 0 || rs.Morsels == 0 {
+		t.Fatalf("parallel run stats = %+v, want parallelism 4 and nonzero ops/morsels", rs)
+	}
+	if _, err := prep.Run(context.Background(), g, WithParallelism(1), WithRunStats(&rs)); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Parallelism != 1 || rs.ParallelOps != 0 || rs.Morsels != 0 {
+		t.Fatalf("serial run stats = %+v, want no morsel dispatch", rs)
+	}
+}
+
+// TestLimitPushdownShortCircuit checks that LIMIT without ORDER BY
+// stops morsel dispatch early: a big seed scan with a small-enough
+// LIMIT must dispatch well under the full morsel count, and still
+// return exactly the leading rows the serial evaluator would.
+func TestLimitPushdownShortCircuit(t *testing.T) {
+	g := parTestGraph(1 << 15)
+	limited := MustPrepare(t, `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n } LIMIT 2000`)
+	var rs RunStats
+	res, err := limited.Run(context.Background(), g, WithParallelism(4), WithRunStats(&rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2000 {
+		t.Fatalf("limited run returned %d rows, want 2000", len(res.Rows))
+	}
+	fullMorsels := (1<<15 + morselSize - 1) / morselSize
+	if rs.Morsels == 0 || rs.Morsels >= int64(fullMorsels) {
+		t.Fatalf("limited run dispatched %d morsels, want 0 < n < %d (short-circuit)", rs.Morsels, fullMorsels)
+	}
+	full, err := limited.Run(context.Background(), g, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := full.OrderedCanonical(), res.OrderedCanonical()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("short-circuited row %d diverged from serial", i)
+		}
+	}
+}
+
+// TestParallelRunCancelMidMorsel cancels a high-fanout parallel hash
+// join mid-probe: the first worker to observe the deadline must latch
+// the stop flag across the pool and Run must return the context error.
+func TestParallelRunCancelMidMorsel(t *testing.T) {
+	// 4096 subjects x 16 tags: the self-join produces 4096*256 ≈ 1M
+	// merged rows, far more work than the 1ms budget.
+	n, fan := 4096, 16
+	ts := make([]rdf.Triple, 0, n*fan)
+	tag := rdf.NewIRI("http://ex/tag")
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		for j := 0; j < fan; j++ {
+			ts = append(ts, rdf.Triple{S: s, P: tag, O: rdf.NewLiteral(fmt.Sprintf("t%d", j))})
+		}
+	}
+	g := rdf.NewGraph(ts)
+	g.Encoded()
+	g.Stats()
+	prep := MustPrepare(t, `SELECT * WHERE { { ?s <http://ex/tag> ?x } { ?s <http://ex/tag> ?y } }`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := prep.Run(ctx, g, WithParallelism(8))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = (%v, %v), want deadline exceeded", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The pool must shut down cleanly and the Prepared stay reusable.
+	// (RunSolutions keeps the 1M rows in id space — no decode.)
+	sol, err := prep.RunSolutions(context.Background(), g, WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n * fan * fan; sol.Len() != want {
+		t.Fatalf("post-cancel run returned %d rows, want %d", sol.Len(), want)
+	}
+}
+
+// TestCancelDuringTopKReturnsError pins the error path of the bounded
+// heap: when cancellation is first observed inside topKRows' candidate
+// scan (the amortized poll crosses its 1024-tick boundary there), the
+// evaluation must surface ctx.Err() instead of returning a silently
+// partial top-K. The graph is sized so the seed scan spends 900 ticks
+// (no poll fires) and the heap scan crosses tick 1024.
+func TestCancelDuringTopKReturnsError(t *testing.T) {
+	g := parTestGraph(900)
+	q := MustParse(`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a LIMIT 10`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	env := newEvalEnv(q, g)
+	env.ctx = ctx // bypass Run's up-front ctx.Err() check
+	res, err := evaluate(env, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("evaluate = (%v, %v), want context.Canceled", res, err)
+	}
+}
+
+// MustPrepare is a test helper.
+func MustPrepare(t testing.TB, text string) *Prepared {
+	t.Helper()
+	p, err := Prepare(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSortRowsTopK pins the bounded-heap ORDER BY+LIMIT path against
+// the stable full sort it replaces: ties resolve by original row
+// order, DESC keys invert, OFFSET folds into K, and out-of-range
+// offsets behave exactly as before.
+func TestSortRowsTopK(t *testing.T) {
+	g := parTestGraph(256) // ages are 8-way ties: stability is load-bearing
+	cases := []struct {
+		name    string
+		limited string
+		full    string
+		lo, hi  int // the slice of the full ordering the limit keeps
+	}{
+		{"asc-ties", `SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a LIMIT 10`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a`, 0, 10},
+		{"desc", `SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY DESC(?a) LIMIT 7 OFFSET 4`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY DESC(?a)`, 4, 11},
+		{"multi-key", `SELECT ?s ?a ?n WHERE { ?s <http://ex/age> ?a . ?s <http://ex/name> ?n } ORDER BY ?a DESC(?n) LIMIT 9`,
+			`SELECT ?s ?a ?n WHERE { ?s <http://ex/age> ?a . ?s <http://ex/name> ?n } ORDER BY ?a DESC(?n)`, 0, 9},
+		{"k-beyond-rows", `SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a LIMIT 5000`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a`, 0, 256},
+		{"offset-beyond-rows", `SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a LIMIT 5 OFFSET 5000`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a`, 256, 256},
+		{"limit-zero", `SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a LIMIT 0`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a } ORDER BY ?a`, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lim, err := Evaluate(MustParse(c.limited), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Evaluate(MustParse(c.full), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.OrderedCanonical()[c.lo:c.hi]
+			got := lim.OrderedCanonical()
+			if len(got) != len(want) {
+				t.Fatalf("top-K kept %d rows, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("row %d = %q, want %q (full-sort truncation)", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestUnionSharedBatchAllocs pins the UNION satellite: combining the
+// two branches must share their slot-row batches — one output slice,
+// no per-row arena copies — and the combined sequence must reference
+// the right branch's rows, not clones of them.
+func TestUnionSharedBatchAllocs(t *testing.T) {
+	g := joinTestGraph(2048)
+	env, names, ages := joinSides(t, g)
+	out := env.unionRows(names, ages)
+	if len(out) != len(names)+len(ages) {
+		t.Fatalf("union length %d, want %d", len(out), len(names)+len(ages))
+	}
+	if &out[len(names)][0] != &ages[0][0] {
+		t.Fatal("right-branch rows were copied, want shared storage")
+	}
+	n := testing.AllocsPerRun(10, func() {
+		out = env.unionRows(names, ages)
+	})
+	// One exact-size output slice; copying 2048 rows through the arena
+	// would cost ~8 chunk allocations on top.
+	if n > 2 {
+		t.Fatalf("unionRows allocates %.1f/run, want <= 2 (shared batches)", n)
+	}
+}
+
+// TestParallelJoinArenaAmortized extends the allocation pins to the
+// parallel path: a morsel-parallel hash join must keep bump-allocating
+// its merged rows from per-worker arenas, so allocations stay far
+// below one per output row (regressing to per-row heap allocation
+// would show up as ~8192 here).
+func TestParallelJoinArenaAmortized(t *testing.T) {
+	g := joinTestGraph(8192)
+	env, names, ages := joinSides(t, g)
+	env.par = &parRun{n: 4}
+	defer env.close()
+	if out := env.joinRows(names, ages); len(out) != 8192 {
+		t.Fatalf("parallel join produced %d rows, want 8192", len(out))
+	}
+	n := testing.AllocsPerRun(2, func() {
+		if out := env.joinRows(names, ages); len(out) != 8192 {
+			t.Fatal("wrong row count")
+		}
+	})
+	if n >= 1024 {
+		t.Fatalf("parallel hash join allocates %.0f/run for 8192 rows, want amortized (< 1024)", n)
+	}
+}

@@ -25,9 +25,10 @@ import (
 // Cached plans are never mutated after publication, so concurrent runs
 // share them without copying.
 type Prepared struct {
-	q     *Query
-	vars  []Var
-	slots map[Var]int
+	q         *Query
+	vars      []Var
+	slots     map[Var]int
+	limitHint int
 
 	mu       sync.Mutex
 	planView *rdf.EncodedView
@@ -52,7 +53,7 @@ func PrepareQuery(q *Query) *Prepared {
 	for i, v := range vars {
 		slots[v] = i
 	}
-	return &Prepared{q: q, vars: vars, slots: slots}
+	return &Prepared{q: q, vars: vars, slots: slots, limitHint: limitHintFor(q)}
 }
 
 // Query returns the parsed query. Callers must treat it as read-only.
@@ -65,13 +66,14 @@ func (p *Prepared) Query() *Query { return p.q }
 func (p *Prepared) newEnv(ctx context.Context, g *rdf.Graph) *evalEnv {
 	view := g.Encoded()
 	env := &evalEnv{
-		g:     g,
-		view:  view,
-		terms: view.Dict().Terms(),
-		slots: p.slots,
-		vars:  p.vars,
-		stats: g.Stats(),
-		prep:  p,
+		g:         g,
+		view:      view,
+		terms:     view.Dict().Terms(),
+		slots:     p.slots,
+		vars:      p.vars,
+		stats:     g.Stats(),
+		limitHint: p.limitHint,
+		prep:      p,
 	}
 	if ctx != nil && ctx.Done() != nil {
 		env.ctx = ctx
@@ -83,13 +85,27 @@ func (p *Prepared) newEnv(ctx context.Context, g *rdf.Graph) *evalEnv {
 // context is cancelled or its deadline passes, the evaluation aborts
 // promptly (the join and scan loops poll the context with an amortized
 // check every cancelCheckEvery rows) and Run returns ctx.Err().
-func (p *Prepared) Run(ctx context.Context, g *rdf.Graph) (*Results, error) {
+//
+// By default a run uses up to GOMAXPROCS workers for its large seed
+// scans and hash-join probes (morsel-driven parallelism, parallel.go);
+// the result is byte-identical at every width. Tune with
+// WithParallelism, observe with WithRunStats.
+func (p *Prepared) Run(ctx context.Context, g *rdf.Graph, opts ...RunOption) (*Results, error) {
+	ro := resolveRunOpts(opts)
+	return p.runWith(ctx, g, &ro)
+}
+
+func (p *Prepared) runWith(ctx context.Context, g *rdf.Graph, ro *runOpts) (*Results, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	return evaluate(p.newEnv(ctx, g), p.q)
+	env := p.newEnv(ctx, g)
+	env.configureParallel(ro)
+	res, err := evaluate(env, p.q)
+	ro.capture(env)
+	return res, err
 }
 
 // cachedPlan returns the cached plan of the seq-th BGP for the given
@@ -148,8 +164,11 @@ type Solutions struct {
 
 // RunSolutions evaluates the prepared query over g like Run, but
 // returns the solutions positioned for streaming instead of a
-// materialized Results. Cancellation behaves exactly as in Run.
-func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph) (*Solutions, error) {
+// materialized Results. Cancellation and the RunOptions behave exactly
+// as in Run; the worker pool of a parallel run is released before the
+// Solutions value is returned.
+func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph, opts ...RunOption) (*Solutions, error) {
+	ro := resolveRunOpts(opts)
 	q := p.q
 	if (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil {
 		if ctx != nil {
@@ -158,6 +177,9 @@ func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph) (*Solutions, 
 			}
 		}
 		env := p.newEnv(ctx, g)
+		env.configureParallel(&ro)
+		defer env.close()
+		defer ro.capture(env)
 		rows, err := env.evalPattern(q.Where)
 		if err != nil {
 			return nil, err
@@ -170,6 +192,9 @@ func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph) (*Solutions, 
 		}
 		vars := q.SelectedVars()
 		rows = env.modifierPipeline(q, vars, rows)
+		if env.err != nil { // cancelled inside the pipeline (top-K scan)
+			return nil, env.err
+		}
 		cols := make([]int, len(vars))
 		for i, v := range vars {
 			if s, ok := env.slots[v]; ok {
@@ -180,7 +205,7 @@ func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph) (*Solutions, 
 		}
 		return &Solutions{vars: vars, env: env, rows: rows, cols: cols}, nil
 	}
-	res, err := p.Run(ctx, g)
+	res, err := p.runWith(ctx, g, &ro)
 	if err != nil {
 		return nil, err
 	}
