@@ -9,15 +9,28 @@
 //	rdfbench -scale medium        # benchmark-scale dataset
 //	rdfbench -shape star          # only one query shape
 //	rdfbench -engine S2RDF        # only one system
+//	rdfbench -shards 4            # partition-strategy latency comparison
+//
+// With -shards N the engine assessment is replaced by the
+// partition-strategy comparison: the dataset is sharded N-way under
+// every registered placement strategy and each workload query runs
+// end-to-end through the distributed executor, so the report pairs the
+// static placement scores (balance, edge cut, star locality) with the
+// measured query latency and the route each query took (p = pushdown,
+// s = scatter-gather).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/partition"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 	"repro/internal/spark"
 	"repro/internal/sparql"
 	"repro/internal/systems"
@@ -32,6 +45,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the text report")
 	parallelism := flag.Int("parallelism", 4, "simulated partitions")
 	executors := flag.Int("executors", 2, "simulated executors")
+	shards := flag.Int("shards", 0, "compare partition strategies end-to-end over N shards instead of assessing engines")
+	repeat := flag.Int("repeat", 3, "runs per query in -shards mode (best time reported)")
 	flag.Parse()
 
 	conf := spark.Config{
@@ -70,6 +85,15 @@ func main() {
 		queries = workload.QueriesByShape(queries, s)
 	}
 
+	if *shards > 0 {
+		if *csv {
+			fmt.Fprintln(os.Stderr, "rdfbench: -csv is not supported in -shards mode")
+			os.Exit(2)
+		}
+		runShardBench(triples, queries, *shards, *repeat)
+		return
+	}
+
 	engines := systems.AllEngines(conf)
 	if *engine != "" {
 		var kept []core.Engine
@@ -99,6 +123,69 @@ func main() {
 		return
 	}
 	fmt.Print(core.RenderAssessment(a))
+}
+
+// runShardBench is the -shards mode: for every registered partition
+// strategy, shard the dataset, score the placement, and run each
+// workload query end-to-end through the distributed executor —
+// latency per strategy, not just load-balance/edge-cut scores.
+func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	ctx := context.Background()
+	var parsed []*sparql.Query
+	for _, nq := range queries {
+		parsed = append(parsed, nq.Query)
+	}
+	deduped := rdf.Dedupe(triples)
+	fmt.Printf("partition-strategy comparison: %d triples, %d shards, best of %d runs\n\n",
+		len(deduped), nShards, repeat)
+	for _, name := range partition.Names() {
+		strat, err := partition.ByName(name, partition.WithQueries(parsed...))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// One Place call feeds both the quality scores and the shards
+		// (label propagation is expensive enough to matter).
+		place := strat.Place(deduped, nShards)
+		quality := partition.EvaluatePlacement(deduped, place, nShards)
+		sg, err := shard.BuildPlaced(deduped, place, nShards, strat.Name())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-26s %s  subject-colocated=%v\n", name, quality, sg.SubjectColocated())
+		var total time.Duration
+		for _, nq := range queries {
+			sp := sg.PrepareQuery(nq.Query)
+			var st sparql.ShardStats
+			best := time.Duration(-1)
+			rows := 0
+			for r := 0; r < repeat; r++ {
+				start := time.Now()
+				res, err := sp.Run(ctx, sparql.WithShardStats(&st))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s on %s: %v\n", nq.Name, name, err)
+					os.Exit(1)
+				}
+				if d := time.Since(start); best < 0 || d < best {
+					best = d
+				}
+				rows = res.Len()
+			}
+			route := "s"
+			if st.Route == sparql.RoutePushdown {
+				route = "p"
+			}
+			total += best
+			fmt.Printf("  %-16s %9.2fms  route=%s shards=%d/%d  rows=%d\n",
+				nq.Name, float64(best.Microseconds())/1000, route,
+				st.ShardsTouched, st.Shards, rows)
+		}
+		fmt.Printf("  %-16s %9.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
+	}
 }
 
 func buildDataset(dataset, scale string) []rdf.Triple {

@@ -97,6 +97,31 @@
 // LIMIT without ORDER BY stops morsel dispatch — and the serial scan —
 // as soon as OFFSET+LIMIT leading rows exist.
 //
+// # Sharded execution
+//
+// internal/shard turns the partitioning strategies of
+// internal/partition into a live execution substrate. A ShardedGraph
+// splits one dataset into N rdf.Graph shards under any
+// partition.Strategy — selected by name through the partition.ByName
+// registry — while every shard encodes through one shared
+// rdf.Dictionary, so TermIDs are globally consistent and all
+// cross-shard work stays in id space. The distributed executor
+// (sparql.RunSharded) routes each prepared query by placement: a
+// single-BGP subject star pushes down whole to each shard when the
+// placement co-located subjects (verified at build time, not assumed),
+// with no cross-shard join; everything else scatters per pattern and
+// folds the gathered matches with the single-graph id-space hash
+// joins. Shards whose indexes cannot contribute a candidate are pruned
+// unscanned (the vertical/semantic payoff), reported through
+// ExplainShards and the /stats sharding block. Determinism contract:
+// shards preserve dataset insertion order, every triple's global
+// position keys the k-way gather merge, and the plan compiles from the
+// summed global statistics — so sharded output is byte-identical (rows
+// and order) to a single-graph run at any shard count and parallelism,
+// pinned by the cross-strategy determinism suite under the race
+// detector. rdfserve -shards N -partition <name> serves it;
+// rdfbench -shards compares strategies by end-to-end query latency.
+//
 // The server itself holds one read-only rdf.Graph (single-writer/
 // many-reader: Encoded and Stats fill lazily under a lock, all other
 // read paths are lock-free), an LRU plan cache keyed by exact query

@@ -49,7 +49,18 @@ func (q Quality) String() string {
 // Evaluate computes placement quality for a strategy over a dataset.
 func Evaluate(s Strategy, triples []rdf.Triple, n int) Quality {
 	triples = rdf.Dedupe(triples)
-	place := s.Place(triples, n)
+	return EvaluatePlacement(triples, s.Place(triples, n), n)
+}
+
+// EvaluatePlacement scores an already-computed placement: place[i] is
+// the partition of the i-th triple of the deduplicated dataset.
+// Callers that also materialize the placement (shard building, the
+// rdfbench strategy comparison) use this to run Place once. Scoring
+// runs in id space over dictionary-encoded triples: (subject,
+// partition) membership is keyed by 4-byte TermIDs instead of
+// string-bearing Terms, so both the star-locality and the edge-cut
+// passes stay O(triples) with integer map lookups.
+func EvaluatePlacement(triples []rdf.Triple, place []int, n int) Quality {
 	sizes := make([]int, n)
 	for _, p := range place {
 		sizes[p]++
@@ -66,47 +77,50 @@ func Evaluate(s Strategy, triples []rdf.Triple, n int) Quality {
 		balance = float64(maxSize) / ideal
 	}
 
-	// Star locality: subjects whose triples all share a partition.
-	subjectParts := map[rdf.Term]map[int]bool{}
-	for i, t := range triples {
-		if subjectParts[t.S] == nil {
-			subjectParts[t.S] = map[int]bool{}
+	// Encode once; enc[i] aligns with triples[i].
+	dict := rdf.NewDictionary()
+	enc := dict.EncodeAll(triples)
+	nTerms := dict.Len()
+
+	// (subject id, partition) membership, shared by both passes.
+	partsSeen := make(map[uint64]struct{}, len(enc))
+	partCount := make([]int32, nTerms) // distinct partitions per subject
+	isSubject := make([]bool, nTerms)
+	for i, e := range enc {
+		isSubject[e.S] = true
+		key := uint64(e.S)<<32 | uint64(uint32(place[i]))
+		if _, ok := partsSeen[key]; !ok {
+			partsSeen[key] = struct{}{}
+			partCount[e.S]++
 		}
-		subjectParts[t.S][place[i]] = true
 	}
-	local := 0
-	for _, parts := range subjectParts {
-		if len(parts) == 1 {
+
+	// Star locality: subjects whose triples all share a partition.
+	subjects, local := 0, 0
+	for id, is := range isSubject {
+		if !is {
+			continue
+		}
+		subjects++
+		if partCount[id] == 1 {
 			local++
 		}
 	}
 	starLocality := 1.0
-	if len(subjectParts) > 0 {
-		starLocality = float64(local) / float64(len(subjectParts))
+	if subjects > 0 {
+		starLocality = float64(local) / float64(subjects)
 	}
 
 	// Edge cut over subject-object links: for each triple t1 whose
 	// object is some subject s2, does any t2 with subject s2 share
 	// t1's partition?
-	firstPartOf := map[rdf.Term]int{}
-	allPartsOf := map[rdf.Term]map[int]bool{}
-	for i, t := range triples {
-		if _, ok := firstPartOf[t.S]; !ok {
-			firstPartOf[t.S] = place[i]
-		}
-		if allPartsOf[t.S] == nil {
-			allPartsOf[t.S] = map[int]bool{}
-		}
-		allPartsOf[t.S][place[i]] = true
-	}
 	links, cut := 0, 0
-	for i, t := range triples {
-		targets, ok := allPartsOf[t.O]
-		if !ok {
+	for i, e := range enc {
+		if !isSubject[e.O] {
 			continue
 		}
 		links++
-		if !targets[place[i]] {
+		if _, ok := partsSeen[uint64(e.O)<<32|uint64(uint32(place[i]))]; !ok {
 			cut++
 		}
 	}

@@ -9,16 +9,42 @@ import (
 	"repro/internal/workload"
 )
 
+// allStrategies iterates the registry: every registered strategy,
+// configured with the workload the workload-aware placement needs.
 func allStrategies() []Strategy {
 	linear := sparql.MustParse(fmt.Sprintf(
 		`SELECT ?st ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
 		workload.UnivNS, workload.UnivNS))
-	return []Strategy{
-		HashSubject{},
-		Vertical{},
-		Semantic{},
-		WorkloadAware{Queries: []*sparql.Query{linear}},
-		LabelPropagation{Rounds: 4},
+	return All(WithQueries(linear), WithRounds(4))
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("registry holds %d strategies: %v", len(names), names)
+	}
+	for _, name := range names {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("ByName(%q) built strategy named %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("no-such-strategy"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	q := sparql.MustParse(`SELECT ?s WHERE { ?s ?p ?o }`)
+	s, err := ByName(WorkloadAware{}.Name(), WithQueries(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa, ok := s.(WorkloadAware); !ok || len(wa.Queries) != 1 {
+		t.Fatalf("options not threaded: %#v", s)
+	}
+	if lp, _ := ByName(LabelPropagation{}.Name(), WithRounds(7)); lp.(LabelPropagation).Rounds != 7 {
+		t.Fatalf("rounds not threaded: %#v", lp)
 	}
 }
 

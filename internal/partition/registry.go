@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/spark"
+	"repro/internal/sparql"
+)
+
+// Options carries the strategy-specific inputs a registry lookup may
+// supply: the query workload (workload-aware placement), the
+// propagation rounds, and the GraphX substrate (label propagation).
+// Strategies that do not use a field ignore it.
+type Options struct {
+	Queries []*sparql.Query
+	Rounds  int
+	Ctx     *spark.Context
+}
+
+// Option customizes a registry lookup.
+type Option func(*Options)
+
+// WithQueries supplies the workload the workload-aware strategy
+// co-locates for.
+func WithQueries(qs ...*sparql.Query) Option {
+	return func(o *Options) { o.Queries = append(o.Queries, qs...) }
+}
+
+// WithRounds bounds the label-propagation iterations.
+func WithRounds(n int) Option {
+	return func(o *Options) { o.Rounds = n }
+}
+
+// WithContext supplies the GraphX substrate for label propagation.
+func WithContext(ctx *spark.Context) Option {
+	return func(o *Options) { o.Ctx = ctx }
+}
+
+// registryOrder lists the registered strategy names in registration
+// order (the order reports and comparisons present them in).
+var registryOrder = []string{
+	HashSubject{}.Name(),
+	Vertical{}.Name(),
+	Semantic{}.Name(),
+	WorkloadAware{}.Name(),
+	LabelPropagation{}.Name(),
+}
+
+// builders maps each registered name to its strategy constructor.
+var builders = map[string]func(Options) Strategy{
+	HashSubject{}.Name(): func(Options) Strategy { return HashSubject{} },
+	Vertical{}.Name():    func(Options) Strategy { return Vertical{} },
+	Semantic{}.Name():    func(Options) Strategy { return Semantic{} },
+	WorkloadAware{}.Name(): func(o Options) Strategy {
+		return WorkloadAware{Queries: o.Queries}
+	},
+	LabelPropagation{}.Name(): func(o Options) Strategy {
+		return LabelPropagation{Rounds: o.Rounds, Ctx: o.Ctx}
+	},
+}
+
+// Names returns every registered strategy name in registration order.
+func Names() []string {
+	return append([]string(nil), registryOrder...)
+}
+
+// ByName returns the named strategy, configured by opts. Unknown names
+// list the registry in the error so CLI flags are self-documenting.
+func ByName(name string, opts ...Option) (Strategy, error) {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if b, ok := builders[name]; ok {
+		return b(o), nil
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("partition: unknown strategy %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// All returns every registered strategy in registration order,
+// configured by opts — the list tests and comparisons iterate instead
+// of hand-building one.
+func All(opts ...Option) []Strategy {
+	out := make([]Strategy, 0, len(registryOrder))
+	for _, name := range registryOrder {
+		s, err := ByName(name, opts...)
+		if err != nil { // unreachable: registryOrder mirrors builders
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}

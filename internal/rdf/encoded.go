@@ -18,9 +18,16 @@ type EncodedView struct {
 	byO     map[TermID][]EncodedTriple
 }
 
-func newEncodedView() *EncodedView {
+func newEncodedView() *EncodedView { return newEncodedViewSharing(NewDictionary()) }
+
+// newEncodedViewSharing builds an empty view that encodes through an
+// existing dictionary instead of a private one. Shard graphs use this:
+// every shard of one dataset encodes through the same dictionary, so a
+// TermID means the same term on every shard and cross-shard merging
+// stays in id space.
+func newEncodedViewSharing(dict *Dictionary) *EncodedView {
 	return &EncodedView{
-		dict: NewDictionary(),
+		dict: dict,
 		byS:  make(map[TermID][]EncodedTriple),
 		byP:  make(map[TermID][]EncodedTriple),
 		byO:  make(map[TermID][]EncodedTriple),

@@ -55,6 +55,20 @@ func NewGraph(triples []Triple) *Graph {
 	return g
 }
 
+// NewGraphWithDictionary builds a graph whose encoded view encodes
+// through dict instead of a private dictionary. Shards of one dataset
+// are built this way around a shared dictionary, which makes their
+// TermIDs globally consistent: an id-space row produced on one shard
+// can be merged, joined, and deduplicated against rows from any other
+// shard without decoding. The usual concurrency contract applies, and
+// additionally the shared dictionary must not be mutated by other
+// writers while this graph's lazy Encoded fill runs.
+func NewGraphWithDictionary(triples []Triple, dict *Dictionary) *Graph {
+	g := NewGraph(triples)
+	g.view = newEncodedViewSharing(dict)
+	return g
+}
+
 // Add inserts a triple if not already present; it reports whether the
 // triple was new.
 func (g *Graph) Add(t Triple) bool {

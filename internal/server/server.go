@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 	"repro/internal/sparql"
 )
 
@@ -87,6 +88,12 @@ type Server struct {
 	m     *metrics
 	mux   *http.ServeMux
 
+	// shards, when set, is the sharded backend: queries execute over
+	// the shard set through the distributed evaluator (pushdown or
+	// scatter-gather), and /stats gains a sharding block. graph is nil
+	// then.
+	shards *shard.ShardedGraph
+
 	// engine, when set, answers queries instead of the reference
 	// evaluator. The surveyed engines are single-threaded simulations,
 	// so execution is serialized by engineMu; the plan cache still
@@ -97,16 +104,9 @@ type Server struct {
 	started time.Time
 }
 
-// New builds a server answering queries over g with the reference
-// evaluator. The graph's encoded view and statistics are warmed
-// eagerly so the first request pays no lazy-initialization cost and
-// the shared structures are immutable from here on.
-func New(g *rdf.Graph, cfg Config) *Server {
+func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	g.Encoded()
-	g.Stats()
 	s := &Server{
-		graph:   g,
 		cfg:     cfg,
 		cache:   newPlanCache(cfg.PlanCacheSize),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
@@ -117,6 +117,30 @@ func New(g *rdf.Graph, cfg Config) *Server {
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// New builds a server answering queries over g with the reference
+// evaluator. The graph's encoded view and statistics are warmed
+// eagerly so the first request pays no lazy-initialization cost and
+// the shared structures are immutable from here on.
+func New(g *rdf.Graph, cfg Config) *Server {
+	g.Encoded()
+	g.Stats()
+	s := newServer(cfg)
+	s.graph = g
+	return s
+}
+
+// NewSharded builds a server answering queries over a sharded graph
+// with the distributed evaluator: subject-star queries push down whole
+// to subject-co-located shards, everything else runs scatter-gather
+// with shard pruning, and results are byte-identical to single-graph
+// serving. The ShardedGraph is warmed at build time and must stay
+// read-only for the server's lifetime.
+func NewSharded(sg *shard.ShardedGraph, cfg Config) *Server {
+	s := newServer(cfg)
+	s.shards = sg
 	return s
 }
 
@@ -280,6 +304,16 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 
 // run evaluates one admitted query.
 func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
+	if s.shards != nil {
+		var rs sparql.RunStats
+		var st sparql.ShardStats
+		sol, err := prep.RunShardedSolutions(ctx, s.shards.Set(),
+			sparql.WithParallelism(s.cfg.QueryParallelism),
+			sparql.WithRunStats(&rs), sparql.WithShardStats(&st))
+		s.m.observeExec(rs)
+		s.m.observeShard(st)
+		return sol, err
+	}
 	if s.engine == nil {
 		var rs sparql.RunStats
 		sol, err := prep.RunSolutions(ctx, s.graph,
@@ -300,10 +334,16 @@ func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Soluti
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	triples := 0
+	if s.shards != nil {
+		triples = s.shards.Len()
+	} else if s.graph != nil {
+		triples = s.graph.Len()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":         "ok",
-		"triples":        s.graph.Len(),
+		"triples":        triples,
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 	})
 }
@@ -312,8 +352,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	served, failed, timeouts, rejected, hist, meanMs := s.m.snapshot()
 	parallelQueries, parallelOps, morsels := s.m.execSnapshot()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"plan_cache": map[string]any{
 			"hits":     hits,
 			"misses":   misses,
@@ -336,5 +375,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"buckets": hist,
 			"mean_ms": meanMs,
 		},
-	})
+	}
+	if s.shards != nil {
+		pushdown, scatter, touched, pruned := s.m.shardSnapshot()
+		body["sharding"] = map[string]any{
+			"shards":            s.shards.NumShards(),
+			"partition":         s.shards.Strategy(),
+			"subject_colocated": s.shards.SubjectColocated(),
+			"pushdown_queries":  pushdown,
+			"scatter_queries":   scatter,
+			"shards_touched":    touched,
+			"shards_pruned":     pruned,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/rdf"
+	"repro/internal/shard"
 )
 
 // testGraph builds 64 subjects carrying name and age triples.
@@ -454,5 +455,72 @@ func TestServePostBadForm(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("PUT: status %d, want 405", rec.Code)
+	}
+}
+
+// shardedTestServer builds a 4-shard subject-hash backend over the
+// same dataset testGraph serves.
+func shardedTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	sg, err := shard.BuildByName(testGraph().Triples(), "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSharded(sg, cfg)
+}
+
+// TestServeSharded pins the sharded backend end to end: a sharded
+// server answers exactly what the single-graph server answers, and
+// /stats reports the sharding block with routed-query counters.
+func TestServeSharded(t *testing.T) {
+	single := New(testGraph(), Config{})
+	sharded := shardedTestServer(t, Config{})
+
+	star := `SELECT ?s ?n ?a WHERE { ?s <http://ex/name> ?n . ?s <http://ex/age> ?a } ORDER BY ?s LIMIT 5`
+	// OPTIONAL is not a sole BGP, so this one takes the scatter route.
+	optional := `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n OPTIONAL { ?s <http://ex/age> ?a } } ORDER BY ?n LIMIT 3`
+	for _, q := range []string{star, optional} {
+		want := getQuery(t, single, q, "", nil)
+		got := getQuery(t, sharded, q, "", nil)
+		if got.Code != http.StatusOK {
+			t.Fatalf("sharded status %d: %s", got.Code, got.Body.String())
+		}
+		if want.Body.String() != got.Body.String() {
+			t.Fatalf("sharded response differs for %q:\nwant %s\ngot  %s", q, want.Body.String(), got.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	sharded.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats struct {
+		Sharding struct {
+			Shards           int    `json:"shards"`
+			Partition        string `json:"partition"`
+			SubjectColocated bool   `json:"subject_colocated"`
+			Pushdown         uint64 `json:"pushdown_queries"`
+			Scatter          uint64 `json:"scatter_queries"`
+			Touched          uint64 `json:"shards_touched"`
+			Pruned           uint64 `json:"shards_pruned"`
+		} `json:"sharding"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("invalid /stats JSON: %v\n%s", err, rec.Body.String())
+	}
+	sh := stats.Sharding
+	if sh.Shards != 4 || sh.Partition != "hash-subject" || !sh.SubjectColocated {
+		t.Fatalf("sharding block %+v", sh)
+	}
+	// The star query pushed down; the OPTIONAL query scattered.
+	if sh.Pushdown != 1 || sh.Scatter != 1 {
+		t.Fatalf("route counters pushdown=%d scatter=%d, want 1/1", sh.Pushdown, sh.Scatter)
+	}
+	if sh.Touched == 0 {
+		t.Fatalf("no shards touched: %+v", sh)
+	}
+
+	rec = httptest.NewRecorder()
+	sharded.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !strings.Contains(rec.Body.String(), `"triples":128`) {
+		t.Fatalf("healthz over shards: %s", rec.Body.String())
 	}
 }

@@ -36,6 +36,14 @@ type metrics struct {
 	parallelQueries uint64
 	parallelOps     uint64
 	morsels         uint64
+
+	// Sharded execution counters (sparql.ShardStats aggregated across
+	// queries on a sharded backend): queries by route, and cumulative
+	// shards scanned vs pruned.
+	pushdownQueries uint64
+	scatterQueries  uint64
+	shardsTouched   uint64
+	shardsPruned    uint64
 }
 
 func newMetrics() *metrics {
@@ -75,6 +83,30 @@ func (m *metrics) execSnapshot() (parallelQueries, parallelOps, morsels uint64) 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.parallelQueries, m.parallelOps, m.morsels
+}
+
+// observeShard folds one sharded query's execution report into the
+// aggregate counters.
+func (m *metrics) observeShard(st sparql.ShardStats) {
+	if st.Shards == 0 {
+		return
+	}
+	m.mu.Lock()
+	if st.Route == sparql.RoutePushdown {
+		m.pushdownQueries++
+	} else {
+		m.scatterQueries++
+	}
+	m.shardsTouched += uint64(st.ShardsTouched)
+	m.shardsPruned += uint64(st.ShardsPruned)
+	m.mu.Unlock()
+}
+
+// shardSnapshot renders the sharded-execution counters for /stats.
+func (m *metrics) shardSnapshot() (pushdown, scatter, touched, pruned uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pushdownQueries, m.scatterQueries, m.shardsTouched, m.shardsPruned
 }
 
 func (m *metrics) fail()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }

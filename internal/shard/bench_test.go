@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+// BenchmarkShardedStar measures what placement-aware routing buys: the
+// same subject-star query over the same 4-shard subject-hash placement,
+// once on the pushdown route (shard-local stars, no cross-shard join)
+// and once forced onto scatter-gather (per-pattern gathers + global
+// hash joins). Pushdown must win.
+func BenchmarkShardedStar(b *testing.B) {
+	triples := workload.GenerateUniversity(workload.MediumUniversity())
+	sg, err := BuildByName(triples, "hash-subject", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := fmt.Sprintf(`SELECT ?s ?d ?e WHERE { ?s <%sworksFor> ?d . ?s <%semailAddress> ?e . ?s <%sname> ?n }`,
+		workload.UnivNS, workload.UnivNS, workload.UnivNS)
+	sp, err := sg.Prepare(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if route := sp.ExplainShards().Route; route != sparql.RoutePushdown {
+		b.Fatalf("star query routed %s, want pushdown", route)
+	}
+	ctx := context.Background()
+	b.Run("pushdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scatter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.Run(ctx, sparql.WithScatterOnly()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedLinear tracks the scatter-gather route on a linear
+// (cross-shard join) query against the single-graph evaluator — the
+// price of distribution when placement cannot make the query local.
+func BenchmarkShardedLinear(b *testing.B) {
+	triples := workload.GenerateUniversity(workload.MediumUniversity())
+	text := fmt.Sprintf(`SELECT ?st ?prof ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS)
+	ctx := context.Background()
+
+	sg, err := BuildByName(triples, "hash-subject", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sg.Prepare(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if route := sp.ExplainShards().Route; route != sparql.RouteScatter {
+		b.Fatalf("linear query routed %s, want scatter-gather", route)
+	}
+	b.Run("scatter-4shards", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	g := rdf.NewGraph(triples)
+	g.Encoded()
+	g.Stats()
+	prep, err := sparql.Prepare(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(ctx, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/workload"
+)
+
+type dataset struct {
+	name    string
+	triples []rdf.Triple
+	queries []workload.NamedQuery
+}
+
+func datasets() []dataset {
+	return []dataset{
+		{"university", workload.GenerateUniversity(workload.SmallUniversity()), workload.UniversityQueries()},
+		{"shop", workload.GenerateShop(workload.SmallShop()), workload.ShopQueries()},
+	}
+}
+
+// mustEqualResults asserts got is byte-identical to want: same form,
+// same variables, same rows in the same order.
+func mustEqualResults(t *testing.T, want, got *sparql.Results) {
+	t.Helper()
+	if want.IsAsk != got.IsAsk || want.IsGraph != got.IsGraph {
+		t.Fatalf("result form differs: want ask=%v graph=%v, got ask=%v graph=%v",
+			want.IsAsk, want.IsGraph, got.IsAsk, got.IsGraph)
+	}
+	if want.IsAsk {
+		if want.Ask != got.Ask {
+			t.Fatalf("ASK answer differs: want %v, got %v", want.Ask, got.Ask)
+		}
+		return
+	}
+	if want.IsGraph {
+		if len(want.Triples) != len(got.Triples) {
+			t.Fatalf("graph size differs: want %d, got %d", len(want.Triples), len(got.Triples))
+		}
+		for i := range want.Triples {
+			if want.Triples[i] != got.Triples[i] {
+				t.Fatalf("graph triple %d differs:\nwant %v\ngot  %v", i, want.Triples[i], got.Triples[i])
+			}
+		}
+		return
+	}
+	if len(want.Vars) != len(got.Vars) {
+		t.Fatalf("vars differ: want %v, got %v", want.Vars, got.Vars)
+	}
+	for i := range want.Vars {
+		if want.Vars[i] != got.Vars[i] {
+			t.Fatalf("vars differ: want %v, got %v", want.Vars, got.Vars)
+		}
+	}
+	w, g := want.OrderedCanonical(), got.OrderedCanonical()
+	if len(w) != len(g) {
+		t.Fatalf("row count differs: want %d, got %d", len(w), len(g))
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("row %d differs:\nwant %s\ngot  %s", i, w[i], g[i])
+		}
+	}
+}
+
+// TestShardedRunMatchesSingleGraph is the cross-strategy determinism
+// suite: sharded execution must be semantically transparent — for every
+// workload query, under every strategy, at shard counts 1/3/8 and
+// parallelism 1/4, (*Prepared).Run returns byte-identical rows and
+// order to a single-graph sparql run.
+func TestShardedRunMatchesSingleGraph(t *testing.T) {
+	ctx := context.Background()
+	strategies := []string{"hash-subject", "vertical", "semantic-class"}
+	for _, ds := range datasets() {
+		g := rdf.NewGraph(ds.triples)
+		want := make(map[string]*sparql.Results, len(ds.queries))
+		for _, nq := range ds.queries {
+			prep, err := sparql.Prepare(nq.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prep.Run(ctx, g, sparql.WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[nq.Name] = res
+		}
+		for _, strat := range strategies {
+			for _, nShards := range []int{1, 3, 8} {
+				sg, err := BuildByName(ds.triples, strat, nShards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%s/%s/shards=%d/par=%d", ds.name, strat, nShards, par), func(t *testing.T) {
+						for _, nq := range ds.queries {
+							sp, err := sg.Prepare(nq.Text)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := sp.Run(ctx, sparql.WithParallelism(par))
+							if err != nil {
+								t.Fatalf("%s: %v", nq.Name, err)
+							}
+							mustEqualResults(t, want[nq.Name], got)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScatterOnlyMatchesPushdown pins that both routes compute the same
+// answer: forcing scatter-gather on pushdown-eligible queries changes
+// nothing but the route.
+func TestScatterOnlyMatchesPushdown(t *testing.T) {
+	ctx := context.Background()
+	ds := datasets()[0]
+	sg, err := BuildByName(ds.triples, "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nq := range ds.queries {
+		sp, err := sg.Prepare(nq.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pushStats, scatStats sparql.ShardStats
+		push, err := sp.Run(ctx, sparql.WithShardStats(&pushStats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scat, err := sp.Run(ctx, sparql.WithScatterOnly(), sparql.WithShardStats(&scatStats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scatStats.Route != sparql.RouteScatter {
+			t.Fatalf("%s: WithScatterOnly ran route %s", nq.Name, scatStats.Route)
+		}
+		mustEqualResults(t, push, scat)
+	}
+}
+
+// TestRoutes pins the routing rules: subject-star BGPs push down under
+// subject-co-located placement and scatter otherwise, and the explain
+// report agrees with the executed run.
+func TestRoutes(t *testing.T) {
+	ctx := context.Background()
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	star := fmt.Sprintf(`SELECT ?s ?n ?e WHERE { ?s <%sname> ?n . ?s <%semailAddress> ?e }`,
+		workload.UnivNS, workload.UnivNS)
+	linear := fmt.Sprintf(`SELECT ?st ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS)
+
+	hash, err := BuildByName(triples, "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hash.SubjectColocated() {
+		t.Fatal("hash-subject placement must co-locate subjects")
+	}
+	vert, err := BuildByName(triples, "vertical", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vert.SubjectColocated() {
+		t.Fatal("vertical placement must not co-locate subjects")
+	}
+
+	cases := []struct {
+		sg    *ShardedGraph
+		text  string
+		route sparql.ShardRoute
+	}{
+		{hash, star, sparql.RoutePushdown},
+		{hash, linear, sparql.RouteScatter},
+		{vert, star, sparql.RouteScatter},
+		{vert, linear, sparql.RouteScatter},
+	}
+	for i, c := range cases {
+		sp, err := c.sg.Prepare(c.text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := sp.ExplainShards()
+		if ex.Route != c.route {
+			t.Fatalf("case %d: explain route %s, want %s", i, ex.Route, c.route)
+		}
+		var st sparql.ShardStats
+		if _, err := sp.Run(ctx, sparql.WithShardStats(&st)); err != nil {
+			t.Fatal(err)
+		}
+		if st.Route != c.route {
+			t.Fatalf("case %d: executed route %s, want %s", i, st.Route, c.route)
+		}
+		if st.ShardsTouched != ex.ShardsTouched || st.ShardsPruned != ex.ShardsPruned {
+			t.Fatalf("case %d: run touched/pruned %d/%d, explain predicted %d/%d",
+				i, st.ShardsTouched, st.ShardsPruned, ex.ShardsTouched, ex.ShardsPruned)
+		}
+	}
+}
+
+// TestVerticalPruning pins the vertical/semantic payoff: under
+// predicate placement, a single-predicate query touches only the
+// shard(s) holding that predicate and the rest are pruned unscanned.
+func TestVerticalPruning(t *testing.T) {
+	ctx := context.Background()
+	triples := workload.GenerateShop(workload.SmallShop())
+	sg, err := BuildByName(triples, "vertical", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sg.Prepare(fmt.Sprintf(`SELECT ?p ?price WHERE { ?p <%sprice> ?price }`, workload.ShopNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sparql.ShardStats
+	res, err := sp.Run(ctx, sparql.WithShardStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("query must match")
+	}
+	if st.ShardsTouched != 1 {
+		t.Fatalf("one predicate lives on one vertical shard; touched %d", st.ShardsTouched)
+	}
+	if st.ShardsPruned != 7 {
+		t.Fatalf("want 7 shards pruned, got %d", st.ShardsPruned)
+	}
+}
+
+// TestPreparedConcurrentShardedRuns pins goroutine safety of a shared
+// sharded Prepared under the race detector.
+func TestPreparedConcurrentShardedRuns(t *testing.T) {
+	ctx := context.Background()
+	ds := datasets()[0]
+	sg, err := BuildByName(ds.triples, "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sg.Prepare(ds.queries[0].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sp.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(par int) {
+			res, err := sp.Run(ctx, sparql.WithParallelism(par))
+			if err == nil && res.Len() != ref.Len() {
+				err = fmt.Errorf("row count %d, want %d", res.Len(), ref.Len())
+			}
+			done <- err
+		}(1 + i%4)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedRunCancellation pins that a cancelled context aborts a
+// sharded run with ctx.Err.
+func TestShardedRunCancellation(t *testing.T) {
+	ds := datasets()[0]
+	sg, err := BuildByName(ds.triples, "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sg.Prepare(ds.queries[0].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sp.Run(ctx); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunSolutionsStreams pins the streaming face of a sharded run.
+func TestRunSolutionsStreams(t *testing.T) {
+	ctx := context.Background()
+	ds := datasets()[0]
+	sg, err := BuildByName(ds.triples, "hash-subject", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraph(ds.triples)
+	for _, nq := range ds.queries {
+		sp, err := sg.Prepare(nq.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := sp.RunSolutions(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := sparql.Prepare(nq.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := prep.Run(ctx, g, sparql.WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, want, sol.Results())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	if _, err := Build(triples, partition.HashSubject{}, 0); err == nil {
+		t.Fatal("0 shards must error")
+	}
+	if _, err := BuildByName(triples, "no-such-strategy", 4); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	sg, err := BuildByName(triples, "hash-subject", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.NumShards() != 4 || sg.Strategy() != "hash-subject" {
+		t.Fatalf("sg = %d shards, strategy %q", sg.NumShards(), sg.Strategy())
+	}
+	total := 0
+	for _, n := range sg.ShardSizes() {
+		total += n
+	}
+	if total != sg.Len() || total != len(rdf.Dedupe(triples)) {
+		t.Fatalf("shard sizes sum %d, Len %d, dataset %d", total, sg.Len(), len(rdf.Dedupe(triples)))
+	}
+}
+
+// TestShardedLimitPushdown pins the per-shard LIMIT truncation: bare
+// LIMIT (and ASK) queries — the limitHint-eligible forms — must still
+// return exactly the single-graph answer on both routes, even though
+// each shard stops producing early.
+func TestShardedLimitPushdown(t *testing.T) {
+	ctx := context.Background()
+	triples := workload.GenerateUniversity(workload.SmallUniversity())
+	g := rdf.NewGraph(triples)
+	queries := []string{
+		// Pushdown route (subject star), bare LIMIT + OFFSET.
+		fmt.Sprintf(`SELECT ?s ?n WHERE { ?s <%sname> ?n } LIMIT 5`, workload.UnivNS),
+		fmt.Sprintf(`SELECT ?s ?n ?a WHERE { ?s <%sname> ?n . ?s <%sage> ?a } LIMIT 7 OFFSET 3`,
+			workload.UnivNS, workload.UnivNS),
+		fmt.Sprintf(`ASK { ?s <%sage> ?a }`, workload.UnivNS),
+	}
+	for _, strat := range []string{"hash-subject", "vertical"} {
+		sg, err := BuildByName(triples, strat, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, text := range queries {
+			prep, err := sparql.Prepare(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := prep.Run(ctx, g, sparql.WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sg.Prepare(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sp.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, want, got)
+		}
+	}
+}

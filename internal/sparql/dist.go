@@ -1,0 +1,781 @@
+package sparql
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Distributed (sharded) evaluation. A dataset split into N shard graphs
+// around one shared dictionary (rdf.NewGraphWithDictionary) executes
+// prepared queries through (*Prepared).RunSharded exactly as a single
+// graph would — byte-identical rows and order — because every merge
+// happens in id space under two invariants:
+//
+//   - Shared dictionary: a TermID means the same term on every shard,
+//     so rows from different shards join, deduplicate, and sort with
+//     the single-graph code paths (joinRows, distinctRows, sortRows)
+//     untouched.
+//   - Global-position merge: each shard preserves the original relative
+//     order of its triples, and ShardSet.Pos records every triple's
+//     position in the full dataset's insertion order. Per-shard match
+//     lists are therefore already sorted by global position, and a
+//     deterministic k-way merge on that key reproduces the exact
+//     candidate order a single-graph index scan would visit.
+//
+// Two routes exploit placement the way the survey says real systems
+// should:
+//
+//   - Pushdown: when the WHERE clause is one BGP whose patterns all
+//     share a single subject variable (a subject star) and the
+//     placement co-locates every subject's triples on one shard
+//     (ShardSet.SubjectColocated), the whole BGP evaluates on each
+//     shard independently — no cross-shard join — and shard results
+//     merge by the seed triple's global position. Soundness: every
+//     triple of a result star shares the star's subject, so the star's
+//     shard holds all of them and no other shard holds any.
+//   - Scatter-gather: general queries scatter each compiled pattern to
+//     the shards, gather the per-pattern matches in global order, and
+//     fold them with the single-graph id-space hash joins (the eval.go
+//     build/probe invariants), so OPTIONAL / UNION / FILTER and the
+//     whole modifier pipeline run unchanged above the scatter.
+//
+// Both routes prune shards that cannot contribute: a shard whose
+// indexes hold no candidates for a pattern (its predicate or class
+// simply does not occur there — the vertical / semantic payoff) is
+// skipped without scanning, and the skip is reported through
+// ShardStats / ShardExplain.
+
+// ShardSet describes a sharded dataset to the distributed executor. It
+// is immutable once built (shard graphs must not be mutated), and safe
+// for unlimited concurrent RunSharded calls.
+type ShardSet struct {
+	// Dict is the dictionary every shard encodes through.
+	Dict *rdf.Dictionary
+	// Views are the per-shard encoded views (warmed Graph.Encoded()).
+	Views []*rdf.EncodedView
+	// Stats are the whole dataset's statistics: with them the
+	// distributed planner reproduces the single-graph plan exactly
+	// (same selectivity estimates, same join order).
+	Stats rdf.Stats
+	// Pos maps every triple to its position in the full dataset's
+	// insertion order — the merge key for deterministic gathers.
+	Pos map[rdf.EncodedTriple]int32
+	// SubjectColocated reports that the placement maps each subject's
+	// triples to a single shard (the pushdown soundness condition).
+	SubjectColocated bool
+}
+
+// ShardRoute identifies how the distributed executor ran a query.
+type ShardRoute string
+
+// The two execution routes.
+const (
+	RoutePushdown ShardRoute = "pushdown"
+	RouteScatter  ShardRoute = "scatter-gather"
+)
+
+// ShardStats reports how one sharded run executed. Request it with
+// WithShardStats.
+type ShardStats struct {
+	// Route is the route the query took.
+	Route ShardRoute
+	// Shards is the number of shards in the set.
+	Shards int
+	// ShardsTouched counts the shards the run actually scanned.
+	ShardsTouched int
+	// ShardsPruned counts the shards skipped because their indexes
+	// could not contribute a candidate (Shards - ShardsTouched).
+	ShardsPruned int
+	// ScatterPatterns counts the triple patterns scattered across
+	// shards (0 on the pushdown route).
+	ScatterPatterns int
+}
+
+// ShardExplain reports, without executing, how a prepared query would
+// run over a shard set.
+type ShardExplain struct {
+	Route         ShardRoute
+	Shards        int
+	ShardsTouched int
+	ShardsPruned  int
+	// Patterns is the number of triple patterns in the query.
+	Patterns int
+}
+
+// WithShardStats makes a sharded run fill st with its execution report
+// just before returning. Ignored by non-sharded runs.
+func WithShardStats(st *ShardStats) RunOption {
+	return func(o *runOpts) { o.shardStats = st }
+}
+
+// WithScatterOnly forces the scatter-gather route even when the query
+// qualifies for pushdown — the benchmark baseline for measuring what
+// placement-aware routing buys. Results are identical on both routes.
+func WithScatterOnly() RunOption {
+	return func(o *runOpts) { o.forceScatter = true }
+}
+
+// RunSharded evaluates the prepared query over a sharded dataset,
+// returning exactly what (*Prepared).Run over the equivalent single
+// graph returns — the same rows in the same order. Cancellation and
+// RunOptions behave as in Run; WithParallelism additionally bounds how
+// many shards are scanned concurrently.
+func (p *Prepared) RunSharded(ctx context.Context, ss *ShardSet, opts ...RunOption) (*Results, error) {
+	ro := resolveRunOpts(opts)
+	return p.runShardedWith(ctx, ss, &ro)
+}
+
+func (p *Prepared) runShardedWith(ctx context.Context, ss *ShardSet, ro *runOpts) (*Results, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	d := p.newDistEnv(ctx, ss, ro)
+	res, err := evaluate(d.env, p.q)
+	ro.capture(d.env)
+	ro.captureShard(d)
+	return res, err
+}
+
+// RunShardedSolutions is RunSharded positioned for streaming, mirroring
+// (*Prepared).RunSolutions: plain SELECT/ASK rows stay in id space with
+// terms decoded on access.
+func (p *Prepared) RunShardedSolutions(ctx context.Context, ss *ShardSet, opts ...RunOption) (*Solutions, error) {
+	ro := resolveRunOpts(opts)
+	if p.streamable() {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		d := p.newDistEnv(ctx, ss, &ro)
+		defer ro.captureShard(d)
+		return p.solutionsFromEnv(d.env, &ro)
+	}
+	res, err := p.runShardedWith(ctx, ss, &ro)
+	if err != nil {
+		return nil, err
+	}
+	return ResultsSolutions(res), nil
+}
+
+// ExplainSharded reports, without executing, which route the query
+// would take over the shard set and how many shards its pattern
+// constants can touch. The same candidate peeks drive the report and
+// the executor's pruning, so the prediction is an upper bound on a
+// subsequent run's touched shards: a run touches exactly these shards
+// unless an intermediate result empties early, in which case it stops
+// scattering and touches fewer.
+func (p *Prepared) ExplainSharded(ss *ShardSet) ShardExplain {
+	d := p.newDistEnv(nil, ss, &runOpts{parallelism: 1})
+	defer d.env.close()
+	ex := ShardExplain{Route: d.route, Shards: len(ss.Views)}
+	touched := make([]bool, len(ss.Views))
+	seq := 0
+	var walk func(GraphPattern)
+	walk = func(gp GraphPattern) {
+		switch n := gp.(type) {
+		case BGP:
+			cps := d.planFor(seq, n)
+			seq++
+			ex.Patterns += len(cps)
+			for s, view := range ss.Views {
+				if d.route == RoutePushdown {
+					if shardCovers(view, cps) {
+						touched[s] = true
+					}
+					continue
+				}
+				for _, cp := range cps {
+					if viewCandidateCount(view, cp) > 0 {
+						touched[s] = true
+						break
+					}
+				}
+			}
+		case Group:
+			for _, part := range n.Parts {
+				walk(part)
+			}
+		case Filter:
+			walk(n.Inner)
+		case Optional:
+			walk(n.Left)
+			walk(n.Right)
+		case Union:
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	walk(p.q.Where)
+	for _, t := range touched {
+		if t {
+			ex.ShardsTouched++
+		}
+	}
+	ex.ShardsPruned = ex.Shards - ex.ShardsTouched
+	return ex
+}
+
+// distEnv is the driver state of one sharded run: the global evaluation
+// environment (slot table, shared-dictionary term snapshot, global
+// statistics, join arena) plus the shard set and the routing/pruning
+// bookkeeping.
+type distEnv struct {
+	env     *evalEnv
+	ss      *ShardSet
+	route   ShardRoute
+	touched []bool // shard s contributed at least one candidate scan
+	scatter int    // patterns scattered across shards
+	bgpSeq  int
+}
+
+// newDistEnv builds the driver environment of one sharded run. The
+// global env carries no view — every index scan happens on a shard —
+// but shares the query's slot table and the full dictionary snapshot,
+// and routes BGP evaluation (and DESCRIBE resolution) through the
+// shard hooks, so joins, filters, the modifier pipeline, and the whole
+// evaluate/solutions machinery run the single-graph code unchanged.
+func (p *Prepared) newDistEnv(ctx context.Context, ss *ShardSet, ro *runOpts) *distEnv {
+	env := &evalEnv{
+		terms:     ss.Dict.Terms(),
+		slots:     p.slots,
+		vars:      p.vars,
+		stats:     ss.Stats,
+		limitHint: p.limitHint,
+		prep:      p,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		env.ctx = ctx
+	}
+	env.configureParallel(ro)
+	d := &distEnv{env: env, ss: ss, touched: make([]bool, len(ss.Views))}
+	d.route = p.shardRoute(ss, ro.forceScatter)
+	env.bgp = d.evalBGP
+	env.describe = d.describeSharded
+	return d
+}
+
+// shardRoute picks the execution route: pushdown when the WHERE clause
+// is a single subject-star BGP and the placement co-locates subjects,
+// scatter-gather otherwise.
+func (p *Prepared) shardRoute(ss *ShardSet, forceScatter bool) ShardRoute {
+	if forceScatter || !ss.SubjectColocated {
+		return RouteScatter
+	}
+	if _, ok := p.subjectStarBGP(); !ok {
+		return RouteScatter
+	}
+	return RoutePushdown
+}
+
+// subjectStarBGP returns the query's BGP when the WHERE clause is a
+// single BGP whose patterns all share one subject variable — the shape
+// whose evaluation pushes down whole to subject-co-located shards.
+func (p *Prepared) subjectStarBGP() (BGP, bool) {
+	if !isSoleBGP(p.q.Where) {
+		return BGP{}, false
+	}
+	bgp, _ := p.q.BGPOf() // a sole BGP always flattens
+	if len(bgp.Patterns) == 0 {
+		return BGP{}, false
+	}
+	first := bgp.Patterns[0].S
+	if !first.IsVar {
+		return BGP{}, false
+	}
+	for _, tp := range bgp.Patterns[1:] {
+		if !tp.S.IsVar || tp.S.Var != first.Var {
+			return BGP{}, false
+		}
+	}
+	return bgp, true
+}
+
+// captureShard fills the caller's ShardStats after a sharded run.
+func (o *runOpts) captureShard(d *distEnv) {
+	if o.shardStats == nil {
+		return
+	}
+	st := ShardStats{Route: d.route, Shards: len(d.ss.Views), ScatterPatterns: d.scatter}
+	for _, t := range d.touched {
+		if t {
+			st.ShardsTouched++
+		}
+	}
+	st.ShardsPruned = st.Shards - st.ShardsTouched
+	*o.shardStats = st
+}
+
+// evalBGP evaluates one BGP over the shards: the pushdown route when
+// the run qualified, otherwise per-pattern scatter folded with the
+// single-graph join engine. The plan is compiled from the global
+// statistics, so pattern order — and with it row order — is exactly
+// the single-graph plan's.
+func (d *distEnv) evalBGP(b BGP) []slotRow {
+	seq := d.bgpSeq
+	d.bgpSeq++
+	cps := d.planFor(seq, b)
+	// limitHint is only set when this BGP is the whole WHERE clause and
+	// the modifiers keep exactly the leading rows. Each shard's output
+	// is a prefix of the merged order, so a shard never needs to
+	// produce more than the hint itself (LIMIT pushdown, per shard).
+	max := d.env.limitHint
+	if d.route == RoutePushdown && len(cps) > 0 {
+		return d.pushdownBGP(cps, max)
+	}
+	env := d.env
+	rows := []slotRow{env.emptyRow()}
+	for _, cp := range cps {
+		// The hint is only sound on the gather that directly emits the
+		// final row sequence — a single-pattern BGP. Joins above a
+		// truncated gather could need the dropped matches.
+		scanMax := 0
+		if len(cps) == 1 {
+			scanMax = max
+		}
+		matches := d.scatterPattern(cp, scanMax)
+		if env.err != nil {
+			return nil
+		}
+		rows = env.joinRows(rows, matches)
+		if env.err != nil {
+			return nil
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return rows
+}
+
+// planFor compiles (or recalls) the selectivity-ordered plan of the
+// seq-th BGP against the shard set, caching on the Prepared exactly
+// like the single-graph plan memo. Keying by ShardSet pointer is sound
+// because shard sets are immutable once built.
+func (d *distEnv) planFor(seq int, b BGP) []cPattern {
+	if d.env.prep != nil {
+		if cps := d.env.prep.cachedDistPlan(d.ss, seq); cps != nil {
+			return cps
+		}
+	}
+	cps := make([]cPattern, len(b.Patterns))
+	for i, tp := range b.Patterns {
+		cps[i] = d.compilePattern(tp)
+	}
+	cps = orderPatterns(cps, len(d.env.vars))
+	if d.env.prep != nil {
+		d.env.prep.storeDistPlan(d.ss, seq, cps)
+	}
+	return cps
+}
+
+// compilePattern mirrors evalEnv.compilePattern against the shard set:
+// constants resolve through the shared dictionary and cardinalities sum
+// across shards, so the estimate equals the single-graph estimate and
+// orderPatterns reproduces the single-graph join order.
+func (d *distEnv) compilePattern(tp TriplePattern) cPattern {
+	compile := func(e TPElem) cElem {
+		if e.IsVar {
+			return cElem{isVar: true, slot: d.env.slots[e.Var]}
+		}
+		id, ok := d.ss.Dict.Lookup(e.Term)
+		return cElem{id: id, ok: ok}
+	}
+	cp := cPattern{s: compile(tp.S), p: compile(tp.P), o: compile(tp.O)}
+	collectPatternSlots(&cp)
+	est := d.env.stats.Triples
+	switch {
+	case !cp.s.isVar && !cp.s.ok, !cp.p.isVar && !cp.p.ok, !cp.o.isVar && !cp.o.ok:
+		est = 0
+	default:
+		if !cp.s.isVar {
+			n := 0
+			for _, v := range d.ss.Views {
+				n += len(v.WithSubject(cp.s.id))
+			}
+			if n < est {
+				est = n
+			}
+		}
+		if !cp.o.isVar {
+			n := 0
+			for _, v := range d.ss.Views {
+				n += len(v.WithObject(cp.o.id))
+			}
+			if n < est {
+				est = n
+			}
+		}
+		if !cp.p.isVar {
+			if n := d.env.stats.PredicateCounts[tp.P.Term.Value]; n < est {
+				est = n
+			}
+		}
+	}
+	cp.est = est
+	return cp
+}
+
+// viewCandidateCount returns the size of the smallest index view a
+// pattern's constants select on one shard — the executor's pruning
+// peek: zero means the shard cannot contribute a single candidate.
+func viewCandidateCount(view *rdf.EncodedView, cp cPattern) int {
+	if (!cp.s.isVar && !cp.s.ok) || (!cp.p.isVar && !cp.p.ok) || (!cp.o.isVar && !cp.o.ok) {
+		return 0
+	}
+	n := view.Len()
+	if !cp.s.isVar {
+		n = len(view.WithSubject(cp.s.id))
+	}
+	if !cp.o.isVar {
+		if m := len(view.WithObject(cp.o.id)); m < n {
+			n = m
+		}
+	}
+	if !cp.p.isVar {
+		if m := len(view.WithPredicate(cp.p.id)); m < n {
+			n = m
+		}
+	}
+	return n
+}
+
+// shardCovers reports whether a shard holds candidates for every
+// pattern of a conjunctive plan — the pushdown prune: a BGP is a
+// conjunction, so one empty pattern empties the shard's contribution.
+func shardCovers(view *rdf.EncodedView, cps []cPattern) bool {
+	for i := range cps {
+		if viewCandidateCount(view, cps[i]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachShard runs fn(s, w) for every shard where pick(s) reports
+// work, marking those shards touched — concurrently up to the run's
+// parallelism, serially at width 1. Each invocation gets a private
+// worker environment whose view is the shard's view; worker errors
+// (cancellation) latch into the global env.
+func (d *distEnv) forEachShard(pick func(s int) bool, fn func(s int, w *evalEnv)) {
+	env := d.env
+	width := 1
+	if env.par != nil {
+		width = env.par.n
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	workers := make([]*evalEnv, 0, len(d.ss.Views))
+	for s, view := range d.ss.Views {
+		if env.err != nil || (env.par != nil && env.par.stop.Load()) {
+			break
+		}
+		if !pick(s) {
+			continue
+		}
+		d.touched[s] = true
+		w := env.workerEnv()
+		w.view = view
+		workers = append(workers, w)
+		if width == 1 {
+			fn(s, w)
+			if w.err != nil {
+				break
+			}
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int, w *evalEnv) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(s, w)
+		}(s, w)
+	}
+	wg.Wait()
+	for _, w := range workers {
+		if w.err != nil && env.err == nil {
+			env.err = w.err
+		}
+	}
+	if env.par != nil && env.par.stop.Load() && env.err == nil && env.ctx != nil {
+		env.err = env.ctx.Err()
+	}
+}
+
+// scatterPattern gathers one pattern's full match set from every shard
+// that can contribute, merged by global triple position — exactly the
+// rows, in exactly the order, a single-graph scan of the pattern would
+// produce. The gathered rows feed the global id-space hash joins.
+// max > 0 caps each shard's scan (LIMIT pushdown): the merged leading
+// max rows draw only from per-shard prefixes of at most max rows.
+func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
+	d.scatter++
+	nsh := len(d.ss.Views)
+	outs := make([][]slotRow, nsh)
+	tags := make([][]int32, nsh)
+	d.forEachShard(
+		func(s int) bool { return viewCandidateCount(d.ss.Views[s], cp) > 0 },
+		func(s int, w *evalEnv) {
+			outs[s], tags[s] = scanShard(w, cp, d.ss.Pos, max)
+		})
+	if d.env.err != nil {
+		return nil
+	}
+	return mergeTagged(outs, tags)
+}
+
+// scanShard scans one shard for a pattern's matches from the empty row,
+// returning each match row with its global triple position. The shard
+// preserves dataset insertion order, so the returned tags ascend.
+// max > 0 stops the scan once that many rows exist.
+func scanShard(w *evalEnv, cp cPattern, pos map[rdf.EncodedTriple]int32, max int) ([]slotRow, []int32) {
+	empty := w.emptyRow()
+	scratch := w.emptyRow()
+	ps := w.preparePatternScan(cp, empty)
+	if ps.miss {
+		return nil, nil
+	}
+	var rows []slotRow
+	var tags []int32
+	for _, t := range ps.candidates {
+		if w.interrupted() {
+			return nil, nil
+		}
+		if !ps.matches(t) {
+			continue
+		}
+		if row, ok := bindTriple(w, cp, t, empty, scratch); ok {
+			rows = append(rows, row)
+			tags = append(tags, pos[t])
+			if max > 0 && len(rows) >= max {
+				break
+			}
+		}
+	}
+	return rows, tags
+}
+
+// bindTriple extends base by binding cp's variable positions to t's
+// ids, enforcing consistency for variables repeated within the pattern.
+// scratch is clobbered.
+func bindTriple(w *evalEnv, cp cPattern, t rdf.EncodedTriple, base, scratch slotRow) (slotRow, bool) {
+	copy(scratch, base)
+	for _, bind := range [3]struct {
+		e  cElem
+		id rdf.TermID
+	}{{cp.s, t.S}, {cp.p, t.P}, {cp.o, t.O}} {
+		if !bind.e.isVar {
+			continue
+		}
+		if cur := scratch[bind.e.slot]; cur == unboundID {
+			scratch[bind.e.slot] = bind.id
+		} else if cur != bind.id {
+			return nil, false
+		}
+	}
+	return w.newRow(scratch), true
+}
+
+// pushdownBGP evaluates the whole (subject-star) BGP on each covering
+// shard independently and merges shard results by the seed triple's
+// global position. Shards missing candidates for any pattern are
+// pruned without scanning. max > 0 caps each shard's output (LIMIT
+// pushdown, sound because merged leading rows draw from per-shard
+// prefixes).
+func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
+	nsh := len(d.ss.Views)
+	outs := make([][]slotRow, nsh)
+	tags := make([][]int32, nsh)
+	d.forEachShard(
+		func(s int) bool { return shardCovers(d.ss.Views[s], cps) },
+		func(s int, w *evalEnv) {
+			outs[s], tags[s] = pushdownShard(w, cps, d.ss.Pos, max)
+		})
+	if d.env.err != nil {
+		return nil
+	}
+	return mergeTagged(outs, tags)
+}
+
+// pushdownShard runs the full pattern-at-a-time BGP loop against one
+// shard's view, tagging every result row with the global position of
+// its seed candidate. Within one seed the extension order is the
+// shard's insertion order — the same relative order the single graph's
+// indexes hold — so rows within a tag are already in single-graph
+// order, and tags ascend across the list. max > 0 stops the loop once
+// that many rows exist (the last seed may overshoot; callers truncate).
+func pushdownShard(w *evalEnv, cps []cPattern, pos map[rdf.EncodedTriple]int32, max int) ([]slotRow, []int32) {
+	empty := w.emptyRow()
+	scratch := w.emptyRow()
+	ps := w.preparePatternScan(cps[0], empty)
+	if ps.miss {
+		return nil, nil
+	}
+	var rows []slotRow
+	var tags []int32
+	var cur, next []slotRow
+	for _, t := range ps.candidates {
+		if w.interrupted() {
+			return nil, nil
+		}
+		if !ps.matches(t) {
+			continue
+		}
+		seed, ok := bindTriple(w, cps[0], t, empty, scratch)
+		if !ok {
+			continue
+		}
+		cur = append(cur[:0], seed)
+		for _, cp := range cps[1:] {
+			next = next[:0]
+			for _, r := range cur {
+				next = w.matchPattern(cp, r, scratch, next)
+				if w.err != nil {
+					return nil, nil
+				}
+			}
+			cur, next = next, cur
+			if len(cur) == 0 {
+				break
+			}
+		}
+		if len(cur) == 0 {
+			continue
+		}
+		tag := pos[t]
+		for _, r := range cur {
+			rows = append(rows, r)
+			tags = append(tags, tag)
+		}
+		if max > 0 && len(rows) >= max {
+			break
+		}
+	}
+	return rows, tags
+}
+
+// mergeTagged k-way merges per-shard row lists by their ascending
+// global-position tags. A triple lives on exactly one shard, so tags
+// never collide across lists and the merge is total and deterministic.
+func mergeTagged(outs [][]slotRow, tags [][]int32) []slotRow {
+	total := 0
+	nonEmpty := -1
+	lists := 0
+	for s, o := range outs {
+		total += len(o)
+		if len(o) > 0 {
+			nonEmpty = s
+			lists++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if lists == 1 {
+		return outs[nonEmpty]
+	}
+	merged := make([]slotRow, 0, total)
+	idx := make([]int, len(outs))
+	for len(merged) < total {
+		best := -1
+		var bestTag int32
+		for s := range outs {
+			if idx[s] >= len(outs[s]) {
+				continue
+			}
+			if t := tags[s][idx[s]]; best < 0 || t < bestTag {
+				best, bestTag = s, t
+			}
+		}
+		merged = append(merged, outs[best][idx[best]])
+		idx[best]++
+	}
+	return merged
+}
+
+// describeSharded mirrors describeResources over the shard graphs: the
+// target resources' triples gather from every shard and merge by
+// global position, reproducing the single-graph description order.
+func (d *distEnv) describeSharded(q *Query, rows []Binding) *Results {
+	targets := map[rdf.Term]bool{}
+	var order []rdf.Term
+	add := func(t rdf.Term) {
+		if t.IsLiteral() || targets[t] {
+			return
+		}
+		targets[t] = true
+		order = append(order, t)
+	}
+	for _, el := range q.Describe {
+		if !el.IsVar {
+			add(el.Term)
+			continue
+		}
+		for _, b := range rows {
+			if t, ok := b[el.Var]; ok {
+				add(t)
+			}
+		}
+	}
+	res := &Results{IsGraph: true}
+	seen := map[rdf.Triple]bool{}
+	for _, t := range order {
+		id, ok := d.ss.Dict.Lookup(t)
+		if !ok {
+			continue
+		}
+		type posTriple struct {
+			pos int32
+			tr  rdf.Triple
+		}
+		var found []posTriple
+		for _, view := range d.ss.Views {
+			for _, e := range view.WithSubject(id) {
+				tr, err := d.ss.Dict.DecodeTriple(e)
+				if err != nil {
+					continue
+				}
+				found = append(found, posTriple{pos: d.ss.Pos[e], tr: tr})
+			}
+		}
+		// Insertion-sort by global position (descriptions are small).
+		for i := 1; i < len(found); i++ {
+			for j := i; j > 0 && found[j].pos < found[j-1].pos; j-- {
+				found[j], found[j-1] = found[j-1], found[j]
+			}
+		}
+		for _, ft := range found {
+			if !seen[ft.tr] {
+				seen[ft.tr] = true
+				res.Triples = append(res.Triples, ft.tr)
+			}
+		}
+	}
+	return res
+}
+
+// collectPatternSlots fills cp.slots with the distinct variable slots
+// of the compiled pattern (shared by the single-graph and sharded
+// compilers).
+func collectPatternSlots(cp *cPattern) {
+	for _, e := range [3]cElem{cp.s, cp.p, cp.o} {
+		if !e.isVar {
+			continue
+		}
+		dup := false
+		for _, s := range cp.slots {
+			if s == e.slot {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cp.slots = append(cp.slots, e.slot)
+		}
+	}
+}

@@ -59,6 +59,9 @@ func evaluate(env *evalEnv, q *Query) (*Results, error) {
 	}
 	decoded := env.decodeRows(rows)
 	if q.Form == FormDescribe {
+		if env.describe != nil {
+			return env.describe(q, decoded), nil
+		}
 		return describeResources(q, decoded, env.g), nil
 	}
 	return ApplySolutionModifiers(q, decoded), nil
@@ -349,6 +352,16 @@ type evalEnv struct {
 	// evaluation order to address the cache.
 	prep   *Prepared
 	bgpSeq int
+
+	// Distributed evaluation hooks (dist.go). bgp, when non-nil,
+	// overrides BGP evaluation — the sharded executor routes BGPs
+	// through per-shard pushdown or per-pattern scatter-gather;
+	// describe, when non-nil, resolves DESCRIBE targets across shards
+	// instead of env.g. Everything else — joins, filters, UNION, the
+	// modifier pipeline — runs the exact single-graph code above the
+	// hooks, which is what keeps sharded output byte-identical.
+	bgp      func(BGP) []slotRow
+	describe func(*Query, []Binding) *Results
 }
 
 // cancelCheckEvery is the amortization interval of the cancellation
@@ -554,7 +567,12 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 	}
 	switch n := p.(type) {
 	case BGP:
-		rows := env.evalBGP(n)
+		var rows []slotRow
+		if env.bgp != nil {
+			rows = env.bgp(n)
+		} else {
+			rows = env.evalBGP(n)
+		}
 		if env.err != nil { // cancelled mid-scan
 			return nil, env.err
 		}
@@ -1156,21 +1174,7 @@ func (env *evalEnv) compilePattern(tp TriplePattern) cPattern {
 		p: env.compileElem(tp.P),
 		o: env.compileElem(tp.O),
 	}
-	for _, e := range [3]cElem{cp.s, cp.p, cp.o} {
-		if !e.isVar {
-			continue
-		}
-		dup := false
-		for _, s := range cp.slots {
-			if s == e.slot {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			cp.slots = append(cp.slots, e.slot)
-		}
-	}
+	collectPatternSlots(&cp)
 	est := env.stats.Triples
 	switch {
 	case !cp.s.isVar && !cp.s.ok, !cp.p.isVar && !cp.p.ok, !cp.o.isVar && !cp.o.ok:
@@ -1346,6 +1350,22 @@ type patternScan struct {
 	candidates             []rdf.EncodedTriple
 }
 
+// matches reports whether a candidate triple satisfies the scan's
+// resolved positions — the filter every candidate loop (serial scan,
+// morsel scan, per-shard scan) applies before binding variables.
+func (ps *patternScan) matches(t rdf.EncodedTriple) bool {
+	if ps.sBound && t.S != ps.sID {
+		return false
+	}
+	if ps.pBound && t.P != ps.pID {
+		return false
+	}
+	if ps.oBound && t.O != ps.oID {
+		return false
+	}
+	return true
+}
+
 // preparePatternScan resolves cp's positions under row and picks the
 // smallest applicable index as the candidate view.
 func (env *evalEnv) preparePatternScan(cp cPattern, row slotRow) patternScan {
@@ -1399,13 +1419,7 @@ func (env *evalEnv) scanPattern(ps *patternScan, row, scratch slotRow, cands []r
 		if env.interrupted() {
 			return out
 		}
-		if ps.sBound && t.S != ps.sID {
-			continue
-		}
-		if ps.pBound && t.P != ps.pID {
-			continue
-		}
-		if ps.oBound && t.O != ps.oID {
+		if !ps.matches(t) {
 			continue
 		}
 		// Bind the variable positions, checking consistency for

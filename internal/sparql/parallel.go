@@ -73,6 +73,11 @@ type RunStats struct {
 type runOpts struct {
 	parallelism int
 	stats       *RunStats
+
+	// Sharded-run options (dist.go): the execution report sink and the
+	// route override. Both are ignored by single-graph runs.
+	shardStats   *ShardStats
+	forceScatter bool
 }
 
 // RunOption tunes one (*Prepared).Run / RunSolutions call.

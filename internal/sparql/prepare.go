@@ -34,6 +34,12 @@ type Prepared struct {
 	planView *rdf.EncodedView
 	planLen  int
 	plans    [][]cPattern // indexed by BGP evaluation order
+
+	// Sharded plan memo (dist.go): the same per-BGP compiled plans,
+	// keyed by ShardSet pointer — sound because shard sets are
+	// immutable once built.
+	distSet   *ShardSet
+	distPlans [][]cPattern
 }
 
 // Prepare parses text and compiles it for repeated execution.
@@ -134,6 +140,32 @@ func (p *Prepared) storePlan(view *rdf.EncodedView, seq int, cps []cPattern) {
 	p.plans[seq] = cps
 }
 
+// cachedDistPlan returns the cached sharded plan of the seq-th BGP for
+// the given shard set, or nil when no matching plan is cached.
+func (p *Prepared) cachedDistPlan(ss *ShardSet, seq int) []cPattern {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.distSet != ss || seq >= len(p.distPlans) {
+		return nil
+	}
+	return p.distPlans[seq]
+}
+
+// storeDistPlan publishes the compiled sharded plan of the seq-th BGP
+// for the given shard set, discarding plans of any other set.
+func (p *Prepared) storeDistPlan(ss *ShardSet, seq int, cps []cPattern) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.distSet != ss {
+		p.distSet = ss
+		p.distPlans = p.distPlans[:0]
+	}
+	for len(p.distPlans) <= seq {
+		p.distPlans = append(p.distPlans, nil)
+	}
+	p.distPlans[seq] = cps
+}
+
 // Solutions is a result sequence positioned for streaming: for plain
 // SELECT (and ASK) queries the rows stay in id space with all solution
 // modifiers already applied, and each term is decoded on access — a
@@ -169,8 +201,7 @@ type Solutions struct {
 // Solutions value is returned.
 func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph, opts ...RunOption) (*Solutions, error) {
 	ro := resolveRunOpts(opts)
-	q := p.q
-	if (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil {
+	if p.streamable() {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -178,38 +209,55 @@ func (p *Prepared) RunSolutions(ctx context.Context, g *rdf.Graph, opts ...RunOp
 		}
 		env := p.newEnv(ctx, g)
 		env.configureParallel(&ro)
-		defer env.close()
-		defer ro.capture(env)
-		rows, err := env.evalPattern(q.Where)
-		if err != nil {
-			return nil, err
-		}
-		if env.err != nil {
-			return nil, env.err
-		}
-		if q.Form == FormAsk {
-			return &Solutions{isAsk: true, ask: len(rows) > 0}, nil
-		}
-		vars := q.SelectedVars()
-		rows = env.modifierPipeline(q, vars, rows)
-		if env.err != nil { // cancelled inside the pipeline (top-K scan)
-			return nil, env.err
-		}
-		cols := make([]int, len(vars))
-		for i, v := range vars {
-			if s, ok := env.slots[v]; ok {
-				cols[i] = s
-			} else {
-				cols[i] = -1
-			}
-		}
-		return &Solutions{vars: vars, env: env, rows: rows, cols: cols}, nil
+		return p.solutionsFromEnv(env, &ro)
 	}
 	res, err := p.runWith(ctx, g, &ro)
 	if err != nil {
 		return nil, err
 	}
 	return ResultsSolutions(res), nil
+}
+
+// streamable reports whether the query's solutions can stay in id
+// space for streaming: plain SELECT and ASK. Aggregates, CONSTRUCT,
+// and DESCRIBE need term values for every solution.
+func (p *Prepared) streamable() bool {
+	q := p.q
+	return (q.Form == FormSelect || q.Form == FormAsk) && q.Agg == nil
+}
+
+// solutionsFromEnv runs the streamable tail shared by RunSolutions and
+// RunShardedSolutions over an armed environment: evaluate the WHERE
+// pattern, apply the id-space modifier pipeline, and position the
+// surviving rows for on-access term decoding.
+func (p *Prepared) solutionsFromEnv(env *evalEnv, ro *runOpts) (*Solutions, error) {
+	q := p.q
+	defer env.close()
+	defer ro.capture(env)
+	rows, err := env.evalPattern(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if env.err != nil {
+		return nil, env.err
+	}
+	if q.Form == FormAsk {
+		return &Solutions{isAsk: true, ask: len(rows) > 0}, nil
+	}
+	vars := q.SelectedVars()
+	rows = env.modifierPipeline(q, vars, rows)
+	if env.err != nil { // cancelled inside the pipeline (top-K scan)
+		return nil, env.err
+	}
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		if s, ok := env.slots[v]; ok {
+			cols[i] = s
+		} else {
+			cols[i] = -1
+		}
+	}
+	return &Solutions{vars: vars, env: env, rows: rows, cols: cols}, nil
 }
 
 // ResultsSolutions wraps an already-materialized Results behind the
