@@ -11,6 +11,7 @@
 //	rdfserve -dataset university -scale medium     # generated data
 //	rdfserve -data data.ttl -engine S2RDF          # surveyed engine
 //	rdfserve -dataset university -shards 4 -partition hash-subject
+//	rdfserve -dataset university -shards 4 -replicas 2
 //
 // With -shards N the dataset is split into N shard graphs around a
 // shared dictionary (the -partition strategy decides placement) and
@@ -19,21 +20,37 @@
 // else runs scatter-gather with shard pruning. Results are
 // byte-identical to unsharded serving; /stats gains a sharding block.
 //
+// With -replicas R each shard is materialized R times and per-shard
+// work fails over between replicas (circuit breakers, retry with
+// backoff) without changing results; -chaos-fail-replica I fails
+// replica I of every shard through an injected fault plan, the live
+// demonstration that serving survives a downed replica (watch the
+// /stats faults block).
+//
+// The process drains gracefully: on SIGTERM/SIGINT it stops accepting
+// connections, lets in-flight queries finish within the default query
+// deadline, and exits 0.
+//
 // Endpoints: /sparql (GET ?query=..., POST form or
 // application/sparql-query), /healthz, /stats. Useful /sparql
 // parameters: format=json|tsv, timeout=500ms.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rdf"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -49,12 +66,15 @@ func main() {
 	scale := flag.String("scale", "small", "generated dataset scale: small | medium")
 	engineName := flag.String("engine", "reference", "engine name or 'reference'")
 	shards := flag.Int("shards", 0, "split the graph into N shards (0 = unsharded)")
+	replicas := flag.Int("replicas", 1, "copies of each shard (failover targets; needs -shards)")
 	partitionName := flag.String("partition", "hash-subject", "shard placement strategy (see internal/partition)")
 	maxConcurrent := flag.Int("max-concurrent", 8, "queries evaluating at once")
 	queryParallelism := flag.Int("query-parallelism", 0, "morsel workers per query (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 	cacheSize := flag.Int("plan-cache", 256, "prepared-plan LRU capacity (negative disables)")
+	maxResultRows := flag.Int("max-result-rows", 0, "abort queries producing more rows than this (0 = unlimited)")
+	chaosReplica := flag.Int("chaos-fail-replica", -1, "fail this replica index of every shard (chaos demo; needs -replicas > 1)")
 	flag.Parse()
 
 	triples, err := loadTriples(*dataPath, *dataset, *scale)
@@ -68,23 +88,39 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		PlanCacheSize:    *cacheSize,
 		QueryParallelism: *queryParallelism,
+		MaxResultRows:    *maxResultRows,
 	}
+	if *chaosReplica >= 0 {
+		if *shards <= 0 || *replicas < 2 {
+			fail("-chaos-fail-replica needs -shards > 0 and -replicas > 1 (a lone replica would lose every query)")
+		}
+		if *chaosReplica >= *replicas {
+			fail(fmt.Sprintf("-chaos-fail-replica %d out of range (replicas 0..%d)", *chaosReplica, *replicas-1))
+		}
+		plan := fault.NewPlan(1)
+		for s := 0; s < *shards; s++ {
+			plan.FailAlways(fault.ReplicaPoint(s, *chaosReplica))
+		}
+		cfg.FaultPlan = plan
+	}
+
 	var srv *server.Server
 	if *shards > 0 {
 		if *engineName != "reference" {
 			fail("-shards requires the reference engine")
 		}
-		sg, err := shard.BuildByName(triples, *partitionName, *shards)
+		sg, err := shard.BuildReplicatedByName(triples, *partitionName, *shards, *replicas)
 		if err != nil {
 			fail(err.Error())
 		}
 		srv = server.NewSharded(sg, cfg)
-		log.Printf("rdfserve: %d triples sharded %d-way by %s (sizes %v, subject-colocated %v), serving on %s",
-			sg.Len(), sg.NumShards(), sg.Strategy(), sg.ShardSizes(), sg.SubjectColocated(), *addr)
-		if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-			fail(err.Error())
-		}
+		log.Printf("rdfserve: %d triples sharded %d-way by %s (replicas %d, sizes %v, subject-colocated %v), serving on %s",
+			sg.Len(), sg.NumShards(), sg.Strategy(), sg.Replicas(), sg.ShardSizes(), sg.SubjectColocated(), *addr)
+		serve(*addr, srv.Handler(), cfg.DefaultTimeout)
 		return
+	}
+	if *replicas != 1 {
+		fail("-replicas needs -shards > 0")
 	}
 	g := rdf.NewGraph(triples)
 	if *engineName == "reference" {
@@ -101,8 +137,35 @@ func main() {
 	}
 
 	log.Printf("rdfserve: %d triples loaded, engine=%s, serving on %s", g.Len(), *engineName, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	serve(*addr, srv.Handler(), cfg.DefaultTimeout)
+}
+
+// serve runs the HTTP server until SIGTERM/SIGINT, then drains
+// gracefully: the listener closes immediately (no new queries), queries
+// already in flight get up to drain to finish, and the process exits 0.
+func serve(addr string, h http.Handler, drain time.Duration) {
+	hs := &http.Server{Addr: addr, Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errCh:
+		// Listener died without a signal (port in use, ...).
 		fail(err.Error())
+	case sig := <-sigCh:
+		log.Printf("rdfserve: %v received, draining in-flight queries (up to %v)", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("rdfserve: drain incomplete: %v", err)
+			hs.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err.Error())
+		}
+		log.Printf("rdfserve: drained, bye")
 	}
 }
 

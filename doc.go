@@ -134,6 +134,39 @@
 // in-flight gauge, latency histogram, morsel-execution counters)
 // expose the service's state.
 //
+// # Fault model
+//
+// The surveyed Spark systems inherit lineage-based fault tolerance
+// from the platform: a lost task re-runs from its lineage and the job's
+// answer never changes. The native engine reproduces that contract
+// in-process, at two granularities. Morsel tasks are pure and
+// idempotent over immutable run state (probe tasks re-initialize their
+// private cursor row on entry), so a panicking or fault-injected task
+// is recovered and re-run up to a fixed attempt budget before the
+// query — never the process — fails with a typed sparql.PanicError.
+// Per-shard ops run against replica views (shard.BuildReplicated):
+// every replica encodes the same triples in the same order through the
+// shared dictionary, so scans are byte-identical from any replica and
+// failover is invisible in the output. Replica selection steers by
+// per-replica circuit breakers (consecutive failures trip a breaker
+// open; a cooled-down breaker admits a half-open probe) but never
+// denies: an op retries across replicas with capped exponential
+// backoff charged against the context deadline, and only after
+// genuinely attempting every replica for the whole retry budget does
+// the query fail, with a sparql.PartialFailureError naming the lost
+// shards. Cancellation is never retried. Determinism under faults is
+// the pinned contract: the chaos suite runs every workload query with
+// one replica of each shard failed, latency injected on every scatter
+// attempt, and a morsel panic injected per query, and requires output
+// byte-identical to a clean single-graph serial run, under the race
+// detector, across seeds (internal/fault seeds all injected
+// randomness). The HTTP layer completes the fault boundary: a recovery
+// middleware turns any handler panic into a 500 while the process
+// keeps serving, PartialFailureError maps to 502, the
+// Config.MaxResultRows overload guard maps to 413, /stats exposes the
+// fault counters and breaker states, and rdfserve drains in-flight
+// queries gracefully on SIGTERM.
+//
 // Run the micro-benchmarks tracking these paths with
 //
 //	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...

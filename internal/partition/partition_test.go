@@ -48,6 +48,33 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestRegistryCoverage pins the invariant All relies on instead of a
+// runtime panic: every name in registration order has a builder, and
+// All returns them all, in order, with options threaded through.
+func TestRegistryCoverage(t *testing.T) {
+	for _, name := range registryOrder {
+		if builders[name] == nil {
+			t.Fatalf("registered name %q has no builder", name)
+		}
+	}
+	if len(builders) != len(registryOrder) {
+		t.Fatalf("builders holds %d entries, registryOrder %d", len(builders), len(registryOrder))
+	}
+	q := sparql.MustParse(`SELECT ?s WHERE { ?s ?p ?o }`)
+	all := All(WithQueries(q))
+	if len(all) != len(registryOrder) {
+		t.Fatalf("All returned %d strategies, want %d", len(all), len(registryOrder))
+	}
+	for i, s := range all {
+		if s.Name() != registryOrder[i] {
+			t.Fatalf("All[%d] = %q, want %q", i, s.Name(), registryOrder[i])
+		}
+		if wa, ok := s.(WorkloadAware); ok && len(wa.Queries) != 1 {
+			t.Fatalf("All did not thread options: %#v", s)
+		}
+	}
+}
+
 func TestPlacementsAreValid(t *testing.T) {
 	triples := workload.GenerateUniversity(workload.SmallUniversity())
 	const n = 4

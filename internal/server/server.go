@@ -30,10 +30,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rdf"
 	"repro/internal/shard"
 	"repro/internal/sparql"
 )
+
+// OverloadError reports a query aborted by the MaxResultRows guard.
+type OverloadError struct {
+	// Rows is the result size the query produced; Limit the cap.
+	Rows, Limit int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("sparql: result of %d rows exceeds the server cap of %d", e.Rows, e.Limit)
+}
 
 // Config tunes the query service. The zero value gets sensible
 // defaults from New.
@@ -56,6 +67,16 @@ type Config struct {
 	// 1 serializes every query on its own goroutine. Results are
 	// byte-identical at every width.
 	QueryParallelism int
+	// MaxResultRows, when > 0, aborts any query whose result exceeds
+	// that many rows with a typed OverloadError (HTTP 413) instead of
+	// streaming unbounded output. Default 0 (unlimited).
+	MaxResultRows int
+	// FaultPlan, when set, is installed on every query's context and
+	// consulted at the engine's fault points (internal/fault) — the
+	// chaos-testing hook behind rdfserve's -chaos-fail-replica flag.
+	// Results under an armed plan stay byte-identical as long as at
+	// least one replica of every needed shard survives.
+	FaultPlan *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -153,11 +174,26 @@ func NewWithEngine(g *rdf.Graph, engine core.Engine, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root handler serving /sparql, /healthz, /stats.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving /sparql, /healthz, /stats,
+// wrapped in the panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.ServeHTTP) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is the recovery middleware: a
+// panicking handler (a real bug or an injected fault.PointServer crash)
+// answers 500 and increments the recovered-panic counter — the process
+// stays up and keeps serving.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.m.panicked()
+			// Best effort: if the handler already streamed part of a
+			// body the status line is gone and this only ends the
+			// response.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // queryText extracts the query string per the SPARQL 1.1 protocol:
 // GET ?query=, POST application/x-www-form-urlencoded query=, or POST
@@ -251,7 +287,18 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	// waited out its budget in the admission queue is rejected, and one
 	// admitted late gets only the remainder for evaluation. Client
 	// disconnects cancel through the same context.
-	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(r))
+	rctx := r.Context()
+	if p := s.cfg.FaultPlan; p != nil {
+		rctx = fault.With(rctx, p)
+		// The server fault point: a panic here exercises the recovery
+		// middleware, a delay holds the request in-flight (drain tests).
+		if err := p.Hit(fault.PointServer); err != nil {
+			s.m.fail()
+			http.Error(w, "sparql: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(rctx, s.queryTimeout(r))
 	defer cancel()
 	select {
 	case s.sem <- struct{}{}:
@@ -275,6 +322,18 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.Canceled) {
 			// Client went away; nobody is listening for a status.
 			s.m.timeout()
+			return
+		}
+		var pf *sparql.PartialFailureError
+		if errors.As(err, &pf) {
+			s.m.partialFailure()
+			http.Error(w, "sparql: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			s.m.oversize()
+			http.Error(w, oe.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
 		s.m.fail()
@@ -304,21 +363,47 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 
 // run evaluates one admitted query.
 func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
+	sol, err := s.eval(ctx, prep)
+	if err != nil {
+		return nil, err
+	}
+	// Resource guard: abort oversized results before a single row is
+	// streamed, so the overload maps to a clean 413.
+	if cap := s.cfg.MaxResultRows; cap > 0 && sol != nil {
+		rows := sol.Len()
+		if sol.IsGraph() {
+			rows = len(sol.Graph())
+		}
+		if rows > cap {
+			return nil, &OverloadError{Rows: rows, Limit: cap}
+		}
+	}
+	return sol, nil
+}
+
+// eval dispatches one query to the configured backend.
+func (s *Server) eval(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
 	if s.shards != nil {
 		var rs sparql.RunStats
 		var st sparql.ShardStats
+		var fs sparql.FaultStats
 		sol, err := prep.RunShardedSolutions(ctx, s.shards.Set(),
 			sparql.WithParallelism(s.cfg.QueryParallelism),
-			sparql.WithRunStats(&rs), sparql.WithShardStats(&st))
+			sparql.WithRunStats(&rs), sparql.WithShardStats(&st),
+			sparql.WithFaultStats(&fs))
 		s.m.observeExec(rs)
 		s.m.observeShard(st)
+		s.m.observeFault(fs)
 		return sol, err
 	}
 	if s.engine == nil {
 		var rs sparql.RunStats
+		var fs sparql.FaultStats
 		sol, err := prep.RunSolutions(ctx, s.graph,
-			sparql.WithParallelism(s.cfg.QueryParallelism), sparql.WithRunStats(&rs))
+			sparql.WithParallelism(s.cfg.QueryParallelism),
+			sparql.WithRunStats(&rs), sparql.WithFaultStats(&fs))
 		s.m.observeExec(rs)
+		s.m.observeFault(fs)
 		return sol, err
 	}
 	s.engineMu.Lock()
@@ -376,10 +461,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"mean_ms": meanMs,
 		},
 	}
+	fa := s.m.faults()
+	faults := map[string]any{
+		"attempts":         fa.attempts,
+		"retries":          fa.retries,
+		"failovers":        fa.failovers,
+		"recovered_panics": fa.enginePanics + fa.handlerPanics,
+		"partial_failures": fa.partialFailures,
+		"oversize_results": fa.oversizeAborts,
+	}
 	if s.shards != nil {
+		if h := s.shards.Set().Health; h != nil {
+			faults["breaker_trips"] = h.Trips()
+			faults["breakers"] = h.Snapshot()
+		}
 		pushdown, scatter, touched, pruned := s.m.shardSnapshot()
 		body["sharding"] = map[string]any{
 			"shards":            s.shards.NumShards(),
+			"replicas":          s.shards.Replicas(),
 			"partition":         s.shards.Strategy(),
 			"subject_colocated": s.shards.SubjectColocated(),
 			"pushdown_queries":  pushdown,
@@ -388,6 +487,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shards_pruned":     pruned,
 		}
 	}
+	body["faults"] = faults
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)
 }

@@ -44,6 +44,19 @@ type metrics struct {
 	scatterQueries  uint64
 	shardsTouched   uint64
 	shardsPruned    uint64
+
+	// Fault-handling counters (sparql.FaultStats aggregated across
+	// queries, plus the server-side recoveries): replica attempts,
+	// retried attempts, failovers, panics recovered in the engine and
+	// in the HTTP recovery middleware, queries lost to partial shard
+	// failure, and queries aborted by the result-size guard.
+	faultAttempts   uint64
+	faultRetries    uint64
+	faultFailovers  uint64
+	enginePanics    uint64
+	handlerPanics   uint64
+	partialFailures uint64
+	oversizeAborts  uint64
 }
 
 func newMetrics() *metrics {
@@ -112,6 +125,49 @@ func (m *metrics) shardSnapshot() (pushdown, scatter, touched, pruned uint64) {
 func (m *metrics) fail()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 func (m *metrics) timeout() { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
 func (m *metrics) reject()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+
+// panicked records one panic recovered by the HTTP middleware.
+func (m *metrics) panicked() { m.mu.Lock(); m.handlerPanics++; m.failed++; m.mu.Unlock() }
+
+// partialFailure records one query lost to total shard failure.
+func (m *metrics) partialFailure() { m.mu.Lock(); m.partialFailures++; m.failed++; m.mu.Unlock() }
+
+// oversize records one query aborted by the MaxResultRows guard.
+func (m *metrics) oversize() { m.mu.Lock(); m.oversizeAborts++; m.failed++; m.mu.Unlock() }
+
+// observeFault folds one query's fault counters into the aggregate.
+func (m *metrics) observeFault(fs sparql.FaultStats) {
+	if fs.Attempts == 0 && fs.Retries == 0 && fs.RecoveredPanics == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.faultAttempts += uint64(fs.Attempts)
+	m.faultRetries += uint64(fs.Retries)
+	m.faultFailovers += uint64(fs.Failovers)
+	m.enginePanics += uint64(fs.RecoveredPanics)
+	m.mu.Unlock()
+}
+
+// faultSnapshot renders the fault counters for /stats.
+type faultSnapshot struct {
+	attempts, retries, failovers    uint64
+	enginePanics, handlerPanics     uint64
+	partialFailures, oversizeAborts uint64
+}
+
+func (m *metrics) faults() faultSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return faultSnapshot{
+		attempts:        m.faultAttempts,
+		retries:         m.faultRetries,
+		failovers:       m.faultFailovers,
+		enginePanics:    m.enginePanics,
+		handlerPanics:   m.handlerPanics,
+		partialFailures: m.partialFailures,
+		oversizeAborts:  m.oversizeAborts,
+	}
+}
 
 // histogramBucket is one row of the latency histogram in /stats.
 type histogramBucket struct {

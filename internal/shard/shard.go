@@ -48,6 +48,7 @@ type ShardedGraph struct {
 	dict     *rdf.Dictionary
 	set      *sparql.ShardSet
 	sizes    []int
+	replicas int
 }
 
 // Build splits triples into n shards by the strategy's placement. The
@@ -62,7 +63,37 @@ func Build(triples []rdf.Triple, strat partition.Strategy, n int) (*ShardedGraph
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
 	deduped := rdf.Dedupe(triples)
-	return BuildPlaced(deduped, strat.Place(deduped, n), n, strat.Name())
+	return buildPlaced(deduped, strat.Place(deduped, n), n, 1, strat.Name())
+}
+
+// BuildReplicated is Build with replicas copies of every shard: each
+// shard's triples are materialized R times — in-process stand-ins for
+// the copies a distributed deployment would place on R nodes — all
+// encoding through the one shared dictionary in the same dataset
+// order, so any replica of a shard yields byte-identical scans and
+// replica failover can never change one row of query output. The
+// distributed executor routes each per-shard op to a healthy replica
+// (circuit breakers, retry with capped backoff; see internal/sparql);
+// a query fails only when every replica of a needed shard is down.
+func BuildReplicated(triples []rdf.Triple, strat partition.Strategy, n, replicas int) (*ShardedGraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 replica, got %d", replicas)
+	}
+	deduped := rdf.Dedupe(triples)
+	return buildPlaced(deduped, strat.Place(deduped, n), n, replicas, strat.Name())
+}
+
+// BuildReplicatedByName is BuildReplicated with the strategy resolved
+// from the partition-strategy registry.
+func BuildReplicatedByName(triples []rdf.Triple, name string, n, replicas int, opts ...partition.Option) (*ShardedGraph, error) {
+	strat, err := partition.ByName(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return BuildReplicated(triples, strat, n, replicas)
 }
 
 // BuildPlaced is Build from an already-computed placement: place[i] is
@@ -70,6 +101,12 @@ func Build(triples []rdf.Triple, strat partition.Strategy, n int) (*ShardedGraph
 // Callers that also score the placement (partition.EvaluatePlacement)
 // use this to run the strategy once.
 func BuildPlaced(deduped []rdf.Triple, place []int, n int, strategyName string) (*ShardedGraph, error) {
+	return buildPlaced(deduped, place, n, 1, strategyName)
+}
+
+// buildPlaced is the shared build body; replicas >= 1 is the number of
+// copies of each shard to materialize.
+func buildPlaced(deduped []rdf.Triple, place []int, n, replicas int, strategyName string) (*ShardedGraph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
@@ -108,12 +145,29 @@ func BuildPlaced(deduped []rdf.Triple, place []int, n int, strategyName string) 
 		shards:   make([]*rdf.Graph, n),
 		dict:     dict,
 		sizes:    make([]int, n),
+		replicas: replicas,
 	}
 	views := make([]*rdf.EncodedView, n)
+	var reps [][]*rdf.EncodedView
+	if replicas > 1 {
+		reps = make([][]*rdf.EncodedView, n)
+	}
 	for s, bucket := range buckets {
-		g := rdf.NewGraphWithDictionary(bucket, dict)
-		views[s] = g.Encoded() // warm: shards are immutable from here on
-		sg.shards[s] = g
+		// Each replica re-encodes the same bucket through the shared
+		// dictionary (same ids, same order), so every replica's view is
+		// content-identical — the failover-invisibility invariant.
+		rv := make([]*rdf.EncodedView, replicas)
+		for r := 0; r < replicas; r++ {
+			g := rdf.NewGraphWithDictionary(bucket, dict)
+			rv[r] = g.Encoded() // warm: shards are immutable from here on
+			if r == 0 {
+				sg.shards[s] = g
+			}
+		}
+		views[s] = rv[0]
+		if reps != nil {
+			reps[s] = rv
+		}
 		sg.sizes[s] = len(bucket)
 	}
 	sg.set = &sparql.ShardSet{
@@ -122,6 +176,10 @@ func BuildPlaced(deduped []rdf.Triple, place []int, n int, strategyName string) 
 		Stats:            rdf.ComputeStats(deduped),
 		Pos:              pos,
 		SubjectColocated: coloc,
+		Replicas:         reps,
+	}
+	if replicas > 1 {
+		sg.set.Health = sparql.NewReplicaHealth(n, replicas)
 	}
 	return sg, nil
 }
@@ -138,6 +196,10 @@ func BuildByName(triples []rdf.Triple, name string, n int, opts ...partition.Opt
 
 // NumShards returns the shard count.
 func (sg *ShardedGraph) NumShards() int { return len(sg.shards) }
+
+// Replicas returns the number of copies of each shard (1 when built
+// without replication).
+func (sg *ShardedGraph) Replicas() int { return sg.replicas }
 
 // Strategy returns the placing strategy's name.
 func (sg *ShardedGraph) Strategy() string { return sg.strategy }

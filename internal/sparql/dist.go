@@ -2,8 +2,12 @@ package sparql
 
 import (
 	"context"
+	"errors"
+	"runtime/debug"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rdf"
 )
 
@@ -65,6 +69,19 @@ type ShardSet struct {
 	// SubjectColocated reports that the placement maps each subject's
 	// triples to a single shard (the pushdown soundness condition).
 	SubjectColocated bool
+
+	// Replicas, when non-nil, holds every shard's replica views:
+	// Replicas[s][r] is replica r of shard s, with Replicas[s][0] ==
+	// Views[s]. All replicas of a shard encode the same triples in the
+	// same order through the shared dictionary, so any replica yields
+	// byte-identical scans — which is what makes failover invisible in
+	// query results. Nil means one replica per shard (Views).
+	Replicas [][]*rdf.EncodedView
+	// Health carries the per-replica circuit breakers steering replica
+	// selection. Nil disables breaker steering (replicas are tried in
+	// index order). It is the set's only mutable field and is
+	// internally synchronized.
+	Health *ReplicaHealth
 }
 
 // ShardRoute identifies how the distributed executor ran a query.
@@ -231,6 +248,11 @@ type distEnv struct {
 	touched []bool // shard s contributed at least one candidate scan
 	scatter int    // patterns scattered across shards
 	bgpSeq  int
+
+	// Fault handling (replica.go): the run's injection plan (nil
+	// outside chaos runs) and the shard-op retry policy.
+	plan  *fault.Plan
+	retry RetryPolicy
 }
 
 // newDistEnv builds the driver environment of one sharded run. The
@@ -248,11 +270,21 @@ func (p *Prepared) newDistEnv(ctx context.Context, ss *ShardSet, ro *runOpts) *d
 		limitHint: p.limitHint,
 		prep:      p,
 	}
+	env.ftally = &env.tally
+	// Read the fault plan off the raw context: chaos plans also ride
+	// uncancellable contexts, which env.ctx deliberately drops.
+	env.fplan = fault.From(ctx)
 	if ctx != nil && ctx.Done() != nil {
 		env.ctx = ctx
 	}
 	env.configureParallel(ro)
-	d := &distEnv{env: env, ss: ss, touched: make([]bool, len(ss.Views))}
+	d := &distEnv{
+		env:     env,
+		ss:      ss,
+		touched: make([]bool, len(ss.Views)),
+		plan:    env.fplan,
+		retry:   ro.retry.withDefaults(),
+	}
 	d.route = p.shardRoute(ss, ro.forceScatter)
 	env.bgp = d.evalBGP
 	env.describe = d.describeSharded
@@ -459,8 +491,10 @@ func shardCovers(view *rdf.EncodedView, cps []cPattern) bool {
 // forEachShard runs fn(s, w) for every shard where pick(s) reports
 // work, marking those shards touched — concurrently up to the run's
 // parallelism, serially at width 1. Each invocation gets a private
-// worker environment whose view is the shard's view; worker errors
-// (cancellation) latch into the global env.
+// worker environment; fn routes itself to a replica view through
+// runShardOp. Worker errors latch into the global env, with
+// PartialFailureErrors from different shards merged into one naming
+// every lost shard.
 func (d *distEnv) forEachShard(pick func(s int) bool, fn func(s int, w *evalEnv)) {
 	env := d.env
 	width := 1
@@ -470,7 +504,7 @@ func (d *distEnv) forEachShard(pick func(s int) bool, fn func(s int, w *evalEnv)
 	sem := make(chan struct{}, width)
 	var wg sync.WaitGroup
 	workers := make([]*evalEnv, 0, len(d.ss.Views))
-	for s, view := range d.ss.Views {
+	for s := range d.ss.Views {
 		if env.err != nil || (env.par != nil && env.par.stop.Load()) {
 			break
 		}
@@ -479,7 +513,6 @@ func (d *distEnv) forEachShard(pick func(s int) bool, fn func(s int, w *evalEnv)
 		}
 		d.touched[s] = true
 		w := env.workerEnv()
-		w.view = view
 		workers = append(workers, w)
 		if width == 1 {
 			fn(s, w)
@@ -497,13 +530,164 @@ func (d *distEnv) forEachShard(pick func(s int) bool, fn func(s int, w *evalEnv)
 		}(s, w)
 	}
 	wg.Wait()
-	for _, w := range workers {
-		if w.err != nil && env.err == nil {
-			env.err = w.err
+	if merr := mergeShardErrors(workers); merr != nil && env.err == nil {
+		env.err = merr
+	}
+	if env.par != nil && env.err == nil {
+		// stop may have been raised by cancellation or by a morsel
+		// task's exhausted panic retries; surface whichever happened.
+		if ferr := env.par.failure(); ferr != nil {
+			env.err = ferr
+		} else if env.par.stop.Load() && env.ctx != nil {
+			if cerr := env.ctx.Err(); cerr != nil {
+				env.err = cerr
+			}
 		}
 	}
-	if env.par != nil && env.par.stop.Load() && env.err == nil && env.ctx != nil {
-		env.err = env.ctx.Err()
+}
+
+// replicaViews returns the replica views of shard s ([0] is the
+// primary, == Views[s]).
+func (d *distEnv) replicaViews(s int) []*rdf.EncodedView {
+	if d.ss.Replicas != nil {
+		return d.ss.Replicas[s]
+	}
+	return d.ss.Views[s : s+1]
+}
+
+// pickReplica selects the next replica for an op on shard s, through
+// the breakers when the set carries health state and in index order
+// otherwise. -1 means every replica was already tried this pass.
+func pickReplica(h *ReplicaHealth, s int, tried []bool) int {
+	if h != nil {
+		return h.pick(s, tried, time.Now())
+	}
+	for r, t := range tried {
+		if !t {
+			return r
+		}
+	}
+	return -1
+}
+
+// runShardOp executes one per-shard operation (a pattern scan or a
+// pushdown BGP) fault-tolerantly: the op runs against a replica of
+// shard s chosen by the circuit breakers, with injected or returned
+// failures — and recovered panics — failing over immediately to the
+// next replica; full passes over the replica set are separated by
+// capped exponential backoff charged against the context's remaining
+// deadline. The op gives up, latching a PartialFailureError naming the
+// shard into the worker's error, only after every replica failed in
+// retry.Cycles consecutive passes. Cancellation is never retried.
+//
+// Failover is invisible in results because every replica of a shard
+// yields byte-identical scans (ShardSet.Replicas), and a failed
+// attempt's partial output is fully overwritten by the next attempt
+// (ops write only their own output slots).
+func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) {
+	views := d.replicaViews(s)
+	if d.plan == nil && len(views) == 1 {
+		// Nothing to inject and nothing to fail over to — but panics
+		// are still isolated into the error latch: a crashing scan must
+		// kill the query, not the process serving it.
+		if err := d.attemptShardOp(w, views[0], s, -1, op); err != nil {
+			w.err = err
+		}
+		return
+	}
+	h := d.ss.Health
+	tried := make([]bool, len(views))
+	lastFailed := -1
+	for cycle := 0; ; {
+		r := pickReplica(h, s, tried)
+		if r < 0 {
+			// Every replica failed this pass.
+			cycle++
+			if cycle >= d.retry.Cycles {
+				w.err = &PartialFailureError{Shards: []int{s}}
+				return
+			}
+			if err := d.backoff(cycle); err != nil {
+				w.err = err
+				return
+			}
+			for i := range tried {
+				tried[i] = false
+			}
+			continue
+		}
+		w.ftally.attempts.Add(1)
+		if lastFailed >= 0 && r != lastFailed {
+			w.ftally.failovers.Add(1)
+		}
+		err := d.attemptShardOp(w, views[r], s, r, op)
+		if err == nil {
+			if h != nil {
+				h.ok(s, r)
+			}
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			w.err = err
+			return
+		}
+		if h != nil {
+			h.fail(s, r)
+		}
+		w.ftally.retries.Add(1)
+		tried[r] = true
+		lastFailed = r
+	}
+}
+
+// attemptShardOp runs op once against one replica's view, converting
+// injected faults (the scatter and replica points) and panics into
+// returned errors. A latched worker error (cancellation observed
+// mid-scan) surfaces as the attempt's error.
+func (d *distEnv) attemptShardOp(w *evalEnv, view *rdf.EncodedView, s, replica int, op func(view *rdf.EncodedView)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if w.ftally != nil {
+				w.ftally.panics.Add(1)
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if d.plan != nil && replica >= 0 {
+		if e := d.plan.Hit(fault.PointScatter); e != nil {
+			return e
+		}
+		if e := d.plan.Hit(fault.ReplicaPoint(s, replica)); e != nil {
+			return e
+		}
+	}
+	w.err = nil
+	w.view = view
+	op(view)
+	return w.err
+}
+
+// backoff sleeps the capped exponential delay before retry pass
+// cycle+1, charged against the context's remaining deadline: when the
+// budget cannot cover the delay the op stops waiting and reports the
+// deadline instead of sleeping through it.
+func (d *distEnv) backoff(cycle int) error {
+	dur := d.retry.backoffFor(cycle)
+	ctx := d.env.ctx
+	if ctx == nil {
+		time.Sleep(dur)
+		return nil
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= dur {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -518,10 +702,14 @@ func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
 	nsh := len(d.ss.Views)
 	outs := make([][]slotRow, nsh)
 	tags := make([][]int32, nsh)
+	// Pruning peeks at the primary view; replicas hold identical
+	// triples, so the peek is valid for whichever replica serves.
 	d.forEachShard(
 		func(s int) bool { return viewCandidateCount(d.ss.Views[s], cp) > 0 },
 		func(s int, w *evalEnv) {
-			outs[s], tags[s] = scanShard(w, cp, d.ss.Pos, max)
+			d.runShardOp(s, w, func(*rdf.EncodedView) {
+				outs[s], tags[s] = scanShard(w, cp, d.ss.Pos, max)
+			})
 		})
 	if d.env.err != nil {
 		return nil
@@ -594,7 +782,9 @@ func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
 	d.forEachShard(
 		func(s int) bool { return shardCovers(d.ss.Views[s], cps) },
 		func(s int, w *evalEnv) {
-			outs[s], tags[s] = pushdownShard(w, cps, d.ss.Pos, max)
+			d.runShardOp(s, w, func(*rdf.EncodedView) {
+				outs[s], tags[s] = pushdownShard(w, cps, d.ss.Pos, max)
+			})
 		})
 	if d.env.err != nil {
 		return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/rdf"
 )
 
@@ -362,6 +363,16 @@ type evalEnv struct {
 	// hooks, which is what keeps sharded output byte-identical.
 	bgp      func(BGP) []slotRow
 	describe func(*Query, []Binding) *Results
+
+	// Fault handling (replica.go, internal/fault): fplan is the fault
+	// plan installed on the run's context (nil outside chaos tests and
+	// chaos serving); tally accumulates the run's fault counters and
+	// ftally points at the root environment's tally so every worker
+	// shares it. tally is embedded by value so arming fault stats costs
+	// a run no extra allocation.
+	fplan  *fault.Plan
+	tally  faultTally
+	ftally *faultTally
 }
 
 // cancelCheckEvery is the amortization interval of the cancellation
@@ -446,7 +457,7 @@ func newEvalEnv(q *Query, g *rdf.Graph) *evalEnv {
 		slots[v] = i
 	}
 	view := g.Encoded()
-	return &evalEnv{
+	env := &evalEnv{
 		g:         g,
 		view:      view,
 		terms:     view.Dict().Terms(),
@@ -455,6 +466,8 @@ func newEvalEnv(q *Query, g *rdf.Graph) *evalEnv {
 		stats:     g.Stats(),
 		limitHint: limitHintFor(q),
 	}
+	env.ftally = &env.tally
+	return env
 }
 
 // limitHintFor computes the LIMIT-pushdown hint of a query: the number

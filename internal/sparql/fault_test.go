@@ -1,0 +1,103 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestMorselPanicRetryDeterminism pins the lineage-retry contract for
+// morsel tasks: a single injected panic inside a morsel worker is
+// recovered, the task re-runs, and the query's output stays
+// byte-identical to a clean serial run — the engine-side equivalent of
+// Spark re-running a lost task from lineage.
+func TestMorselPanicRetryDeterminism(t *testing.T) {
+	g := parTestGraph(8192)
+	queries := []string{
+		// Seed scan: the simplest morsel source.
+		`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`,
+		// Build-right probe: panics can hit the probe tasks.
+		`SELECT * WHERE { { ?s <http://ex/name> ?n } { ?s <http://ex/age> ?a } }`,
+		// Build-left scatter probe: the cursor-matrix must be re-runnable.
+		`SELECT * WHERE { { ?s <http://ex/knows> ?k } { ?s <http://ex/age> ?a } }`,
+		// Build-left OPTIONAL: emit-pass retries must not double-advance.
+		`SELECT * WHERE { { ?s <http://ex/knows> ?k } OPTIONAL { ?s <http://ex/age> ?a } }`,
+	}
+	for qi, text := range queries {
+		prep := MustPrepare(t, text)
+		want, err := prep.Run(context.Background(), g, WithParallelism(1))
+		if err != nil {
+			t.Fatalf("query %d clean run: %v", qi, err)
+		}
+		plan := fault.NewPlan(int64(qi+1)).PanicNext(fault.PointMorsel, 1)
+		var fs FaultStats
+		got, err := prep.Run(fault.With(context.Background(), plan), g,
+			WithParallelism(4), WithFaultStats(&fs))
+		if err != nil {
+			t.Fatalf("query %d faulted run: %v", qi, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("query %d: output diverged under an injected morsel panic", qi)
+		}
+		if c := plan.Counters(); c.Panics != 1 {
+			t.Fatalf("query %d: plan injected %d panics, want 1", qi, c.Panics)
+		}
+		if fs.RecoveredPanics < 1 {
+			t.Fatalf("query %d: fault stats recovered %d panics, want >= 1", qi, fs.RecoveredPanics)
+		}
+		if fs.Retries < 1 {
+			t.Fatalf("query %d: fault stats report %d retries, want >= 1", qi, fs.Retries)
+		}
+	}
+}
+
+// TestMorselPanicExhaustedFailsQuery pins that a morsel task panicking
+// on every attempt fails the query — with a typed PanicError, not a
+// crashed process or a silent partial result.
+func TestMorselPanicExhaustedFailsQuery(t *testing.T) {
+	g := parTestGraph(8192)
+	prep := MustPrepare(t, `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`)
+	plan := fault.NewPlan(1).PanicNext(fault.PointMorsel, -1) // every hit panics
+	var fs FaultStats
+	_, err := prep.Run(fault.With(context.Background(), plan), g,
+		WithParallelism(4), WithFaultStats(&fs))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want a *PanicError after exhausted retries", err)
+	}
+	if fs.RecoveredPanics < int64(maxTaskAttempts) {
+		t.Fatalf("recovered %d panics, want >= %d (every attempt of the doomed task)",
+			fs.RecoveredPanics, maxTaskAttempts)
+	}
+}
+
+// TestMorselFaultInjectedError pins that an injected (non-panic) task
+// failure is also retried to a clean result, and that exhausting the
+// budget surfaces the injected error itself.
+func TestMorselFaultInjectedError(t *testing.T) {
+	g := parTestGraph(8192)
+	prep := MustPrepare(t, `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`)
+	want, err := prep.Run(context.Background(), g, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two one-shot failures: both tasks re-run and the output is clean.
+	plan := fault.NewPlan(7).FailNext(fault.PointMorsel, 2)
+	got, err := prep.Run(fault.With(context.Background(), plan), g, WithParallelism(4))
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("output diverged under injected morsel failures")
+	}
+
+	// Unbounded failure: the retry budget runs out and the injected
+	// error reaches the caller.
+	always := fault.NewPlan(7).FailAlways(fault.PointMorsel)
+	if _, err := prep.Run(fault.With(context.Background(), always), g, WithParallelism(4)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error = %v, want fault.ErrInjected", err)
+	}
+}

@@ -2,9 +2,11 @@ package sparql
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/rdf"
 )
 
@@ -55,6 +57,31 @@ type parRun struct {
 	stop    atomic.Bool // latched: some environment observed ctx.Done()
 	ops     atomic.Int64
 	morsels atomic.Int64
+
+	// Failure latch: the first task whose panic retries are exhausted
+	// records its error here and raises stop, cancelling the run — the
+	// query dies, the process (and the pool's other workers draining
+	// their morsels) never does.
+	failMu  sync.Mutex
+	failErr error
+}
+
+// latchFailure records the run-cancelling error of one failed task
+// (first writer wins) and raises the stop latch.
+func (p *parRun) latchFailure(err error) {
+	p.failMu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.failMu.Unlock()
+	p.stop.Store(true)
+}
+
+// failure returns the latched task failure, if any.
+func (p *parRun) failure() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failErr
 }
 
 // RunStats reports how one Run executed. Request it with WithRunStats.
@@ -78,6 +105,11 @@ type runOpts struct {
 	// route override. Both are ignored by single-graph runs.
 	shardStats   *ShardStats
 	forceScatter bool
+
+	// Fault-handling options (replica.go): the fault counters sink and
+	// the shard-op retry policy (zero value = defaults).
+	faultStats *FaultStats
+	retry      RetryPolicy
 }
 
 // RunOption tunes one (*Prepared).Run / RunSolutions call.
@@ -116,8 +148,17 @@ func (env *evalEnv) configureParallel(o *runOpts) {
 	}
 }
 
-// capture fills the caller's RunStats after the run.
+// capture fills the caller's RunStats and FaultStats after the run.
 func (o *runOpts) capture(env *evalEnv) {
+	if o.faultStats != nil && env.ftally != nil {
+		t := env.ftally
+		*o.faultStats = FaultStats{
+			Attempts:        t.attempts.Load(),
+			Retries:         t.retries.Load(),
+			Failovers:       t.failovers.Load(),
+			RecoveredPanics: t.panics.Load(),
+		}
+	}
 	if o.stats == nil {
 		return
 	}
@@ -147,6 +188,9 @@ func (env *evalEnv) workerEnv() *evalEnv {
 		stats: env.stats,
 		ctx:   env.ctx,
 		par:   env.par,
+
+		fplan:  env.fplan,
+		ftally: env.ftally,
 	}
 }
 
@@ -173,12 +217,64 @@ func newWorkerPool(parent *evalEnv, n int) *workerPool {
 		w := parent.workerEnv()
 		go func() {
 			for t := range p.tasks {
-				t.fn(w)
-				t.wg.Done()
+				runTask(w, t)
 			}
 		}()
 	}
 	return p
+}
+
+// maxTaskAttempts bounds re-running a panicked morsel task — the
+// engine-side mirror of Spark's spark.task.maxFailures (lineage-based
+// task retry, the fault-tolerance contract the surveyed systems inherit
+// from the platform).
+const maxTaskAttempts = 3
+
+// runTask executes one morsel task, recovering panics (real ones and
+// injected ones, fault.PointMorsel) and re-running the task up to
+// maxTaskAttempts times. Morsel tasks are pure functions of immutable
+// run state that (re)initialize their private output slots, so a re-run
+// recomputes exactly what the crashed attempt would have produced —
+// byte-identical output survives the crash. When attempts exhaust, the
+// failure latches into the run (parRun.latchFailure), cancelling the
+// query; the process and the pool's other workers stay up.
+func runTask(w *evalEnv, t poolTask) {
+	defer t.wg.Done()
+	for attempt := 1; ; attempt++ {
+		err := runTaskAttempt(w, t.fn)
+		if err == nil {
+			return
+		}
+		if _, ok := err.(*PanicError); ok && w.ftally != nil {
+			w.ftally.panics.Add(1)
+		}
+		if w.err != nil {
+			// The run is already cancelled; its error wins.
+			return
+		}
+		if attempt >= maxTaskAttempts {
+			w.par.latchFailure(err)
+			return
+		}
+		if w.ftally != nil {
+			w.ftally.retries.Add(1)
+		}
+	}
+}
+
+// runTaskAttempt runs the task body once behind a panic recovery and
+// the morsel fault point.
+func runTaskAttempt(w *evalEnv, fn func(*evalEnv)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if e := w.fplan.Hit(fault.PointMorsel); e != nil {
+		return e
+	}
+	fn(w)
+	return nil
 }
 
 // close releases the pool's goroutines. Safe to call on a serial
@@ -217,8 +313,17 @@ func (env *evalEnv) runMorsels(total, needed int, produced *atomic.Int64, mk fun
 	wg.Wait()
 	env.par.ops.Add(1)
 	env.par.morsels.Add(int64(dispatched))
-	if env.par.stop.Load() && env.err == nil && env.ctx != nil {
-		env.err = env.ctx.Err()
+	// A latched task failure (exhausted panic retries) outranks the
+	// cancellation latch: stop may be raised by either, and ctx.Err()
+	// is nil when the run died of a panic rather than cancellation.
+	if env.err == nil {
+		if ferr := env.par.failure(); ferr != nil {
+			env.err = ferr
+		} else if env.par.stop.Load() && env.ctx != nil {
+			if cerr := env.ctx.Err(); cerr != nil {
+				env.err = cerr
+			}
+		}
 	}
 	return dispatched
 }
@@ -370,11 +475,26 @@ func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
 	la, n := len(a), len(b)
 	size, total := scatterMorselSpan(n, env.par.n)
 	cursors := make([]int32, total*la)
+	// starts snapshots the write cursors before the emit pass, so a
+	// re-run task (panic recovery, parallel.go runTask) restores its
+	// cursor row instead of advancing it twice.
+	var starts []int32
 	probe := func(emit bool, out []slotRow) {
 		env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
 			start, end := rdf.MorselBounds(m, n, size)
 			cur := cursors[m*la : (m+1)*la]
 			return func(w *evalEnv) {
+				// (Re)initialize the task's private cursor row: zeros
+				// for the counting pass, the saved write offsets for
+				// the emit pass — the emit's out[] writes are then
+				// idempotent (same rows, same disjoint slots).
+				if emit {
+					copy(cur, starts[m*la:(m+1)*la])
+				} else {
+					for i := range cur {
+						cur[i] = 0
+					}
+				}
 				for _, y := range b[start:end] {
 					if w.interrupted() {
 						return
@@ -408,6 +528,7 @@ func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
 	if pos == 0 {
 		return nil
 	}
+	starts = append([]int32(nil), cursors...)
 	out := make([]slotRow, pos)
 	probe(true, out)
 	if env.err != nil {
@@ -428,11 +549,21 @@ func (env *evalEnv) hashOptionalBuildLeftPar(left, right []slotRow, key []int) [
 	ll, n := len(left), len(right)
 	size, total := scatterMorselSpan(n, env.par.n)
 	cursors := make([]int32, total*ll)
+	// starts: see hashJoinBuildLeftPar — restores a re-run emit task's
+	// cursor row so retries stay idempotent.
+	var starts []int32
 	probe := func(emit bool, out []slotRow) {
 		env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
 			start, end := rdf.MorselBounds(m, n, size)
 			cur := cursors[m*ll : (m+1)*ll]
 			return func(w *evalEnv) {
+				if emit {
+					copy(cur, starts[m*ll:(m+1)*ll])
+				} else {
+					for i := range cur {
+						cur[i] = 0
+					}
+				}
 				for _, r := range right[start:end] {
 					if w.interrupted() {
 						return
@@ -482,6 +613,7 @@ func (env *evalEnv) hashOptionalBuildLeftPar(left, right []slotRow, key []int) [
 			pos++
 		}
 	}
+	starts = append([]int32(nil), cursors...)
 	probe(true, out)
 	if env.err != nil {
 		// Incomplete scatter: nil holes remain (see above).

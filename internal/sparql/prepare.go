@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/rdf"
 )
 
@@ -81,6 +82,10 @@ func (p *Prepared) newEnv(ctx context.Context, g *rdf.Graph) *evalEnv {
 		limitHint: p.limitHint,
 		prep:      p,
 	}
+	env.ftally = &env.tally
+	// The fault plan is read off the raw context: chaos plans also ride
+	// uncancellable contexts, which env.ctx deliberately drops.
+	env.fplan = fault.From(ctx)
 	if ctx != nil && ctx.Done() != nil {
 		env.ctx = ctx
 	}

@@ -1,0 +1,320 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault tolerance for the sharded executor (dist.go). The surveyed
+// Spark-based systems inherit lineage-based retry from the platform;
+// the native engine reproduces that contract in-process: every shard
+// may carry R replica views (ShardSet.Replicas) that encode the same
+// triples in the same order through the shared dictionary, so any
+// replica yields byte-identical scans and a per-shard op can fail over
+// between replicas without changing one row of output. A query fails —
+// with a typed PartialFailureError — only when every replica of a
+// needed shard is down for retry-budget-many consecutive passes.
+
+// PartialFailureError reports the shards for which every replica
+// failed: the only condition under which a sharded run gives up.
+type PartialFailureError struct {
+	// Shards lists the lost shard indexes, ascending.
+	Shards []int
+}
+
+func (e *PartialFailureError) Error() string {
+	return fmt.Sprintf("sparql: all replicas failed for shard(s) %v", e.Shards)
+}
+
+// PanicError wraps a panic recovered inside the execution engine — a
+// morsel task or a per-shard op — after its retry budget was exhausted.
+// The panic cancels the query, never the process.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sparql: recovered panic in executor: %v", e.Value)
+}
+
+// RetryPolicy bounds the fault handling of one sharded run. Within one
+// pass over a shard's replicas failover is immediate; between passes
+// the run backs off exponentially from BaseBackoff, capped at
+// MaxBackoff and charged against the context's remaining deadline
+// budget. Zero fields take the defaults (3 cycles, 2ms base, 50ms cap).
+type RetryPolicy struct {
+	// Cycles is the number of full passes over a shard's replica set
+	// before the op gives up with a PartialFailureError.
+	Cycles int
+	// BaseBackoff is the sleep before the second pass; it doubles each
+	// further pass.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-pass sleep.
+	MaxBackoff time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Cycles <= 0 {
+		rp.Cycles = 3
+	}
+	if rp.BaseBackoff <= 0 {
+		rp.BaseBackoff = 2 * time.Millisecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = 50 * time.Millisecond
+	}
+	return rp
+}
+
+// backoffFor returns the sleep before pass cycle+1 (cycle >= 1).
+func (rp RetryPolicy) backoffFor(cycle int) time.Duration {
+	shift := cycle - 1
+	if shift > 16 { // the cap dominates long before 2^16
+		shift = 16
+	}
+	d := rp.BaseBackoff << shift
+	if d > rp.MaxBackoff || d <= 0 {
+		d = rp.MaxBackoff
+	}
+	return d
+}
+
+// WithRetryPolicy overrides the run's shard-op retry policy.
+func WithRetryPolicy(rp RetryPolicy) RunOption {
+	return func(o *runOpts) { o.retry = rp }
+}
+
+// FaultStats reports how one run's fault handling executed. Request it
+// with WithFaultStats; a clean run reports zeros except Attempts.
+type FaultStats struct {
+	// Attempts counts per-shard-op replica attempts (sharded runs).
+	Attempts int64
+	// Retries counts failed attempts that were re-run — replica
+	// attempts and morsel task re-executions.
+	Retries int64
+	// Failovers counts attempts routed to a different replica after the
+	// previous replica failed.
+	Failovers int64
+	// RecoveredPanics counts panics recovered inside the engine.
+	RecoveredPanics int64
+}
+
+// WithFaultStats makes the run fill fs with its fault counters just
+// before returning (error returns included).
+func WithFaultStats(fs *FaultStats) RunOption {
+	return func(o *runOpts) { o.faultStats = fs }
+}
+
+// faultTally accumulates one run's fault counters across workers. The
+// root environment embeds the value and every worker shares it through
+// the evalEnv.ftally pointer.
+type faultTally struct {
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+	panics    atomic.Int64
+}
+
+// replicaBreaker is the circuit-breaker state of one shard replica.
+type replicaBreaker struct {
+	consec   int // consecutive failures
+	open     bool
+	openedAt time.Time
+	trips    int64
+}
+
+// breakerTripThreshold is the consecutive-failure count that opens a
+// replica's breaker.
+const breakerTripThreshold = 3
+
+// defaultBreakerCooldown is how long an open breaker holds traffic off
+// a replica before admitting a half-open probe.
+const defaultBreakerCooldown = 250 * time.Millisecond
+
+// ReplicaHealth tracks the per-replica circuit breakers of one
+// ShardSet: consecutive failures trip a replica open, an open replica
+// admits one half-open probe after the cooldown, and a success closes
+// it again. Breakers steer replica selection, they never deny it — when
+// nothing healthier remains a pick still returns an open replica (a
+// forced probe), so a query only ever fails after actually attempting
+// every replica. All methods are safe for concurrent use; ReplicaHealth
+// is the only mutable state attached to an otherwise immutable set.
+type ReplicaHealth struct {
+	mu       sync.Mutex
+	b        [][]replicaBreaker
+	rr       []int // per-shard round-robin cursor
+	trips    int64
+	cooldown time.Duration
+}
+
+// NewReplicaHealth returns breaker state for shards × replicas, all
+// closed.
+func NewReplicaHealth(shards, replicas int) *ReplicaHealth {
+	h := &ReplicaHealth{
+		b:        make([][]replicaBreaker, shards),
+		rr:       make([]int, shards),
+		cooldown: defaultBreakerCooldown,
+	}
+	for s := range h.b {
+		h.b[s] = make([]replicaBreaker, replicas)
+	}
+	return h
+}
+
+// SetCooldown overrides the half-open probe cooldown (tests and
+// operational tuning).
+func (h *ReplicaHealth) SetCooldown(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cooldown = d
+}
+
+// pick selects the replica of shard s for the next attempt, skipping
+// replicas already failed by this op (tried). Preference order: closed
+// breakers in round-robin order, then open breakers whose cooldown
+// elapsed (the half-open probe), then the longest-open breaker (the
+// forced probe). Returns -1 only when every replica was already tried.
+func (h *ReplicaHealth) pick(s int, tried []bool, now time.Time) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bs := h.b[s]
+	n := len(bs)
+	start := h.rr[s]
+	h.rr[s] = (start + 1) % n
+	for i := 0; i < n; i++ {
+		r := (start + i) % n
+		if !tried[r] && !bs[r].open {
+			return r
+		}
+	}
+	forced, oldest := -1, time.Time{}
+	for r := range bs {
+		if tried[r] || !bs[r].open {
+			continue
+		}
+		if now.Sub(bs[r].openedAt) >= h.cooldown {
+			return r
+		}
+		if forced < 0 || bs[r].openedAt.Before(oldest) {
+			forced, oldest = r, bs[r].openedAt
+		}
+	}
+	return forced
+}
+
+// ok records a successful attempt: the replica's breaker closes and its
+// failure streak resets.
+func (h *ReplicaHealth) ok(s, r int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := &h.b[s][r]
+	b.consec, b.open = 0, false
+}
+
+// fail records a failed attempt: the streak grows, tripping the breaker
+// open at the threshold; a failed probe re-arms the cooldown.
+func (h *ReplicaHealth) fail(s, r int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := &h.b[s][r]
+	b.consec++
+	if b.open {
+		b.openedAt = time.Now()
+		return
+	}
+	if b.consec >= breakerTripThreshold {
+		b.open = true
+		b.openedAt = time.Now()
+		b.trips++
+		h.trips++
+	}
+}
+
+// Trips returns the cumulative breaker trips across all replicas.
+func (h *ReplicaHealth) Trips() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.trips
+}
+
+// BreakerInfo is one replica breaker's observable state (/stats).
+type BreakerInfo struct {
+	Shard               int    `json:"shard"`
+	Replica             int    `json:"replica"`
+	State               string `json:"state"` // "closed", "open", "half-open"
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Trips               int64  `json:"trips"`
+}
+
+// Snapshot returns every breaker's state, ordered by shard then
+// replica.
+func (h *ReplicaHealth) Snapshot() []BreakerInfo {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	var out []BreakerInfo
+	for s := range h.b {
+		for r := range h.b[s] {
+			b := h.b[s][r]
+			state := "closed"
+			if b.open {
+				state = "open"
+				if now.Sub(b.openedAt) >= h.cooldown {
+					state = "half-open"
+				}
+			}
+			out = append(out, BreakerInfo{
+				Shard:               s,
+				Replica:             r,
+				State:               state,
+				ConsecutiveFailures: b.consec,
+				Trips:               b.trips,
+			})
+		}
+	}
+	return out
+}
+
+// mergeShardErrors folds per-worker shard-op errors into the run error:
+// PartialFailureErrors from different shards merge into one naming all
+// lost shards; any other error (cancellation, exhausted panic retries)
+// wins outright.
+func mergeShardErrors(workers []*evalEnv) error {
+	var firstErr error
+	var partial *PartialFailureError
+	for _, w := range workers {
+		if w.err == nil {
+			continue
+		}
+		if pf, ok := w.err.(*PartialFailureError); ok {
+			if partial == nil {
+				partial = &PartialFailureError{}
+			}
+			partial.Shards = append(partial.Shards, pf.Shards...)
+			continue
+		}
+		if firstErr == nil {
+			firstErr = w.err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if partial != nil {
+		sort.Ints(partial.Shards)
+		return partial
+	}
+	return nil
+}
