@@ -86,11 +86,7 @@ func main() {
 	}
 
 	if *shards > 0 {
-		if *csv {
-			fmt.Fprintln(os.Stderr, "rdfbench: -csv is not supported in -shards mode")
-			os.Exit(2)
-		}
-		runShardBench(triples, queries, *shards, *repeat)
+		runShardBench(triples, queries, *shards, *repeat, *csv)
 		return
 	}
 
@@ -128,8 +124,10 @@ func main() {
 // runShardBench is the -shards mode: for every registered partition
 // strategy, shard the dataset, score the placement, and run each
 // workload query end-to-end through the distributed executor —
-// latency per strategy, not just load-balance/edge-cut scores.
-func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int) {
+// latency per strategy, not just load-balance/edge-cut scores. With
+// csvOut the same measurements stream as one CSV row per (strategy,
+// query) pair, ready for spreadsheet or pandas post-processing.
+func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int, csvOut bool) {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -139,8 +137,12 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 		parsed = append(parsed, nq.Query)
 	}
 	deduped := rdf.Dedupe(triples)
-	fmt.Printf("partition-strategy comparison: %d triples, %d shards, best of %d runs\n\n",
-		len(deduped), nShards, repeat)
+	if csvOut {
+		fmt.Println("strategy,subject_colocated,balance,edge_cut,star_locality,query,route,shards_touched,shards,best_ms,rows")
+	} else {
+		fmt.Printf("partition-strategy comparison: %d triples, %d shards, best of %d runs\n\n",
+			len(deduped), nShards, repeat)
+	}
 	for _, name := range partition.Names() {
 		strat, err := partition.ByName(name, partition.WithQueries(parsed...))
 		if err != nil {
@@ -156,7 +158,9 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-26s %s  subject-colocated=%v\n", name, quality, sg.SubjectColocated())
+		if !csvOut {
+			fmt.Printf("%-26s %s  subject-colocated=%v\n", name, quality, sg.SubjectColocated())
+		}
 		var total time.Duration
 		for _, nq := range queries {
 			sp := sg.PrepareQuery(nq.Query)
@@ -180,11 +184,21 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 				route = "p"
 			}
 			total += best
+			if csvOut {
+				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%d\n",
+					name, sg.SubjectColocated(),
+					quality.Balance, quality.EdgeCut, quality.StarLocality,
+					nq.Name, route, st.ShardsTouched, st.Shards,
+					float64(best.Microseconds())/1000, rows)
+				continue
+			}
 			fmt.Printf("  %-16s %9.2fms  route=%s shards=%d/%d  rows=%d\n",
 				nq.Name, float64(best.Microseconds())/1000, route,
 				st.ShardsTouched, st.Shards, rows)
 		}
-		fmt.Printf("  %-16s %9.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
+		if !csvOut {
+			fmt.Printf("  %-16s %9.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
+		}
 	}
 }
 

@@ -74,6 +74,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 	cacheSize := flag.Int("plan-cache", 256, "prepared-plan LRU capacity (negative disables)")
 	maxResultRows := flag.Int("max-result-rows", 0, "abort queries producing more rows than this (0 = unlimited)")
+	maxQueryBytes := flag.Int64("max-query-bytes", 0, "per-query memory budget in bytes; over-budget queries abort with 413 (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "queries that may wait for a worker before new arrivals are shed (0 = 4x max-concurrent, negative disables shedding)")
 	chaosReplica := flag.Int("chaos-fail-replica", -1, "fail this replica index of every shard (chaos demo; needs -replicas > 1)")
 	flag.Parse()
 
@@ -89,6 +91,8 @@ func main() {
 		PlanCacheSize:    *cacheSize,
 		QueryParallelism: *queryParallelism,
 		MaxResultRows:    *maxResultRows,
+		MaxQueryBytes:    *maxQueryBytes,
+		MaxQueue:         *maxQueue,
 	}
 	if *chaosReplica >= 0 {
 		if *shards <= 0 || *replicas < 2 {
@@ -116,7 +120,7 @@ func main() {
 		srv = server.NewSharded(sg, cfg)
 		log.Printf("rdfserve: %d triples sharded %d-way by %s (replicas %d, sizes %v, subject-colocated %v), serving on %s",
 			sg.Len(), sg.NumShards(), sg.Strategy(), sg.Replicas(), sg.ShardSizes(), sg.SubjectColocated(), *addr)
-		serve(*addr, srv.Handler(), cfg.DefaultTimeout)
+		serve(*addr, srv.Handler(), cfg.DefaultTimeout, *maxTimeout)
 		return
 	}
 	if *replicas != 1 {
@@ -137,14 +141,28 @@ func main() {
 	}
 
 	log.Printf("rdfserve: %d triples loaded, engine=%s, serving on %s", g.Len(), *engineName, *addr)
-	serve(*addr, srv.Handler(), cfg.DefaultTimeout)
+	serve(*addr, srv.Handler(), cfg.DefaultTimeout, *maxTimeout)
 }
 
 // serve runs the HTTP server until SIGTERM/SIGINT, then drains
 // gracefully: the listener closes immediately (no new queries), queries
 // already in flight get up to drain to finish, and the process exits 0.
-func serve(addr string, h http.Handler, drain time.Duration) {
-	hs := &http.Server{Addr: addr, Handler: h}
+//
+// The server carries protective timeouts so one slow or stalled client
+// cannot pin a connection goroutine forever: header and body reads are
+// bounded, idle keep-alive connections are reaped, and the write
+// deadline leaves maxTimeout (the cap on any query's deadline) plus
+// streaming slack before a wedged response is cut off.
+func serve(addr string, h http.Handler, drain, maxTimeout time.Duration) {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      maxTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 

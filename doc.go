@@ -167,6 +167,33 @@
 // fault counters and breaker states, and rdfserve drains in-flight
 // queries gracefully on SIGTERM.
 //
+// # Resource model
+//
+// Spark kills or spills a task that outgrows its executor's memory;
+// one pathological job cannot take a worker down. The native engine
+// reproduces that governance at query granularity. A run armed with
+// sparql.WithMemoryBudget charges one shared atomic byte counter at
+// every evaluator-owned allocation site — row-arena chunk growth,
+// hash-join tables and their output batches, the parallel probes'
+// cursor matrices, the sharded gather's merge buffers — and aborts
+// with a typed sparql.BudgetError the moment the charges exceed the
+// budget. The abort rides the same latched-error machinery as
+// cancellation, so a budgeted query either returns output
+// byte-identical to an unbudgeted serial run or fails typed — never
+// partial rows — and an unarmed run pays one nil check per charge
+// site, leaving the allocation pins intact. In front of the worker
+// pool, the server's admission controller watches the queue depth and
+// each query's planner cost estimate (Prepared.EstimateCost — connected
+// components sum, cartesian components multiply) and walks a
+// degradation ladder: under light backlog admitted queries lose
+// parallelism (byte-identical output, just slower), under heavy
+// backlog expensive queries are shed with an immediate 503 instead of
+// burning their deadline in a hopeless queue, and a full queue sheds
+// everything. Config.MaxQueryBytes maps budget aborts to 413,
+// http.MaxBytesReader caps request bodies, and the /stats resources
+// block reports bytes charged, the peak single-query charge, budget
+// aborts, and shed/degraded query counts.
+//
 // Run the micro-benchmarks tracking these paths with
 //
 //	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...

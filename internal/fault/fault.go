@@ -39,6 +39,11 @@ const (
 	// PointServer fires at the top of the HTTP query handler
 	// (internal/server), inside the recovery middleware.
 	PointServer Point = "server"
+	// PointMem fires at every memory-budget charge of a budgeted run
+	// (sparql/budget.go). An injected failure here forces the charge
+	// over budget, so chaos suites exercise the BudgetError abort path
+	// deterministically without crafting an actually-huge query.
+	PointMem Point = "mem"
 )
 
 // ReplicaPoint names the fault point of one shard replica: failing it

@@ -1,0 +1,81 @@
+package server
+
+import "sync/atomic"
+
+// Cost-aware admission control. The admission semaphore (Server.sem)
+// bounds how many queries evaluate at once; this controller governs
+// the queue in front of it. Instead of letting every excess query camp
+// on the semaphore until its deadline — burning the client's budget on
+// a wait that cannot succeed — the controller watches the queue depth
+// and walks a degradation ladder:
+//
+//  1. Lightly backed up (depth > degradeAt): admitted queries run at
+//     half parallelism, freeing morsel workers for the queue to drain.
+//     Expensive queries (planner cost estimate over the shed
+//     threshold) drop straight to serial.
+//  2. Heavily backed up (depth > floorAt): every admitted query runs
+//     serial, and expensive queries are shed outright — an immediate
+//     503, no deadline burn.
+//  3. Full (depth > maxQueue): everything is shed immediately.
+//
+// Degraded queries return byte-identical results (parallelism never
+// changes output); shed queries fail fast so the client can back off
+// or retry against a replica. The depth gauge counts queries between
+// arrival and semaphore acquisition, so it is zero whenever the worker
+// pool keeps up and the whole ladder costs one atomic add per request.
+type admission struct {
+	// maxQueue is the shed-everything bound on the waiting count.
+	maxQueue int
+	// degradeAt is where the ladder starts: above it, admitted queries
+	// lose half their parallelism and expensive ones go serial.
+	degradeAt int
+	// floorAt is the heavy-overload rung: above it every admitted
+	// query runs serial and expensive queries are shed.
+	floorAt int
+
+	// waiting counts queries that arrived but have not yet acquired
+	// the admission semaphore (includes the one currently deciding).
+	waiting atomic.Int64
+}
+
+// newAdmission sizes the ladder from the queue bound: degradation
+// starts at a quarter of the queue, the serial floor at half.
+func newAdmission(maxQueue int) *admission {
+	a := &admission{maxQueue: maxQueue}
+	a.degradeAt = maxQueue / 4
+	if a.degradeAt < 1 {
+		a.degradeAt = 1
+	}
+	a.floorAt = maxQueue / 2
+	if a.floorAt < 2 {
+		a.floorAt = 2
+	}
+	return a
+}
+
+// decide maps one arriving query's position to an admission verdict:
+// shed it, or admit it at newPar ≤ par workers. depth is the waiting
+// count including this query; expensive marks a planner cost estimate
+// over the server's shed threshold.
+func (a *admission) decide(depth int, expensive bool, par int) (shed bool, newPar int) {
+	if depth > a.maxQueue {
+		return true, 0
+	}
+	if expensive && depth > a.floorAt {
+		return true, 0
+	}
+	switch {
+	case depth > a.floorAt:
+		return false, 1
+	case depth > a.degradeAt:
+		if expensive {
+			return false, 1
+		}
+		half := par / 2
+		if half < 1 {
+			half = 1
+		}
+		return false, half
+	}
+	return false, par
+}

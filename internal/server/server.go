@@ -71,6 +71,32 @@ type Config struct {
 	// that many rows with a typed OverloadError (HTTP 413) instead of
 	// streaming unbounded output. Default 0 (unlimited).
 	MaxResultRows int
+	// MaxQueryBytes, when > 0, is the per-query memory budget: every
+	// query runs under sparql.WithMemoryBudget(MaxQueryBytes) and one
+	// that outgrows it aborts with a typed *sparql.BudgetError (HTTP
+	// 413) before partial rows escape. Unlike MaxResultRows — which
+	// only sees the finished result — the budget bounds intermediate
+	// join state, so a query that explodes mid-evaluation is cut off
+	// while evaluating, not after. Default 0 (unlimited).
+	MaxQueryBytes int64
+	// MaxBodyBytes caps the request body a POST may carry (enforced
+	// with http.MaxBytesReader; over-limit requests get 413). Default
+	// (0) is 1 MiB; negative disables the cap.
+	MaxBodyBytes int64
+	// MaxQueue bounds how many queries may wait for a worker slot
+	// before admission sheds new arrivals with an immediate 503 (no
+	// deadline burn), with a degradation ladder shrinking per-query
+	// parallelism as the queue fills (see admission). Default (0) is
+	// 4×MaxConcurrent; negative disables admission control entirely,
+	// restoring wait-until-deadline queueing.
+	MaxQueue int
+	// CostShedThreshold is the planner cost estimate
+	// (Prepared.EstimateCost) above which a query counts as expensive
+	// for the admission ladder: expensive queries degrade to serial
+	// earlier and are shed under heavy load. Default (0) is 4× the
+	// dataset's triple count; negative disables cost-aware decisions
+	// (only queue depth sheds).
+	CostShedThreshold int64
 	// FaultPlan, when set, is installed on every query's context and
 	// consulted at the engine's fault points (internal/fault) — the
 	// chaos-testing hook behind rdfserve's -chaos-fail-replica flag.
@@ -94,6 +120,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
 	}
 	return c
 }
@@ -122,6 +154,12 @@ type Server struct {
 	engine   core.Engine
 	engineMu sync.Mutex
 
+	// admit is the cost-aware admission controller (admit.go); nil
+	// when Config.MaxQueue is negative. costThreshold is the resolved
+	// CostShedThreshold (0 disables cost-aware decisions).
+	admit         *admission
+	costThreshold int64
+
 	started time.Time
 }
 
@@ -135,10 +173,36 @@ func newServer(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	if cfg.MaxQueue > 0 {
+		s.admit = newAdmission(cfg.MaxQueue)
+	}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
+}
+
+// resolveCostThreshold fixes the expensive-query bound once the
+// backend (and with it the dataset size) is known: an explicit
+// configuration wins, the default is 4× the triple count — a connected
+// query's estimate is bounded by its scans' candidate sums, so only
+// cartesian-shaped plans clear it — and a negative setting disables
+// cost-aware admission.
+func (s *Server) resolveCostThreshold() {
+	switch {
+	case s.cfg.CostShedThreshold > 0:
+		s.costThreshold = s.cfg.CostShedThreshold
+	case s.cfg.CostShedThreshold < 0:
+		s.costThreshold = 0
+	default:
+		n := 0
+		if s.shards != nil {
+			n = s.shards.Len()
+		} else if s.graph != nil {
+			n = s.graph.Len()
+		}
+		s.costThreshold = 4 * int64(n)
+	}
 }
 
 // New builds a server answering queries over g with the reference
@@ -150,6 +214,7 @@ func New(g *rdf.Graph, cfg Config) *Server {
 	g.Stats()
 	s := newServer(cfg)
 	s.graph = g
+	s.resolveCostThreshold()
 	return s
 }
 
@@ -162,6 +227,7 @@ func New(g *rdf.Graph, cfg Config) *Server {
 func NewSharded(sg *shard.ShardedGraph, cfg Config) *Server {
 	s := newServer(cfg)
 	s.shards = sg
+	s.resolveCostThreshold()
 	return s
 }
 
@@ -204,7 +270,9 @@ func queryText(r *http.Request) (string, error) {
 	}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ct == "application/sparql-query" {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		// The body is already wrapped in http.MaxBytesReader; an
+		// over-limit read fails with *http.MaxBytesError (413).
+		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			return "", err
 		}
@@ -265,8 +333,17 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("sparql: method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 		return
 	}
+	if r.Method == http.MethodPost && s.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
 	text, err := queryText(r)
 	if err != nil { // unreadable body / malformed form
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.m.fail()
+			http.Error(w, "sparql: request body exceeds the server cap", http.StatusRequestEntityTooLarge)
+			return
+		}
 		s.m.fail()
 		http.Error(w, "sparql: "+err.Error(), http.StatusBadRequest)
 		return
@@ -298,12 +375,40 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Admission: decide this query's fate from the queue depth and its
+	// cost estimate BEFORE arming the deadline, so a shed query answers
+	// immediately instead of burning its timeout in a hopeless queue.
+	par := s.cfg.QueryParallelism
+	if s.admit != nil {
+		expensive := false
+		if s.costThreshold > 0 {
+			expensive = s.estimateCost(prep) >= s.costThreshold
+		}
+		depth := int(s.admit.waiting.Add(1))
+		shed, newPar := s.admit.decide(depth, expensive, par)
+		if shed {
+			s.admit.waiting.Add(-1)
+			s.m.shed()
+			http.Error(w, "sparql: server overloaded, query shed", http.StatusServiceUnavailable)
+			return
+		}
+		if newPar < par {
+			par = newPar
+			s.m.degrade()
+		}
+	}
 	ctx, cancel := context.WithTimeout(rctx, s.queryTimeout(r))
 	defer cancel()
 	select {
 	case s.sem <- struct{}{}:
+		if s.admit != nil {
+			s.admit.waiting.Add(-1)
+		}
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		if s.admit != nil {
+			s.admit.waiting.Add(-1)
+		}
 		s.m.reject()
 		http.Error(w, "sparql: server at capacity", http.StatusServiceUnavailable)
 		return
@@ -312,7 +417,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	defer s.m.inFlight.Add(-1)
 
 	start := time.Now()
-	sol, err := s.run(ctx, prep)
+	sol, err := s.run(ctx, prep, par)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.m.timeout()
@@ -328,6 +433,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &pf) {
 			s.m.partialFailure()
 			http.Error(w, "sparql: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		var be *sparql.BudgetError
+		if errors.As(err, &be) {
+			s.m.budgetAbort()
+			http.Error(w, be.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
 		var oe *OverloadError
@@ -361,9 +472,10 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	s.m.observe(time.Since(start))
 }
 
-// run evaluates one admitted query.
-func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
-	sol, err := s.eval(ctx, prep)
+// run evaluates one admitted query at the parallelism admission
+// granted it.
+func (s *Server) run(ctx context.Context, prep *sparql.Prepared, par int) (*sparql.Solutions, error) {
+	sol, err := s.eval(ctx, prep, par)
 	if err != nil {
 		return nil, err
 	}
@@ -381,29 +493,47 @@ func (s *Server) run(ctx context.Context, prep *sparql.Prepared) (*sparql.Soluti
 	return sol, nil
 }
 
-// eval dispatches one query to the configured backend.
-func (s *Server) eval(ctx context.Context, prep *sparql.Prepared) (*sparql.Solutions, error) {
+// estimateCost returns the planner's work estimate for prep against
+// the configured backend (memoized per Prepared).
+func (s *Server) estimateCost(prep *sparql.Prepared) int64 {
+	if s.shards != nil {
+		return prep.EstimateCostSharded(s.shards.Set())
+	}
+	if s.graph != nil {
+		return prep.EstimateCost(s.graph)
+	}
+	return 0
+}
+
+// eval dispatches one query to the configured backend at the given
+// morsel parallelism, armed with the server's per-query memory budget.
+func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int) (*sparql.Solutions, error) {
+	opts := []sparql.RunOption{sparql.WithParallelism(par)}
+	if s.cfg.MaxQueryBytes != 0 {
+		opts = append(opts, sparql.WithMemoryBudget(s.cfg.MaxQueryBytes))
+	}
 	if s.shards != nil {
 		var rs sparql.RunStats
 		var st sparql.ShardStats
 		var fs sparql.FaultStats
-		sol, err := prep.RunShardedSolutions(ctx, s.shards.Set(),
-			sparql.WithParallelism(s.cfg.QueryParallelism),
+		opts = append(opts,
 			sparql.WithRunStats(&rs), sparql.WithShardStats(&st),
 			sparql.WithFaultStats(&fs))
+		sol, err := prep.RunShardedSolutions(ctx, s.shards.Set(), opts...)
 		s.m.observeExec(rs)
 		s.m.observeShard(st)
 		s.m.observeFault(fs)
+		s.m.observeBytes(rs.BytesCharged)
 		return sol, err
 	}
 	if s.engine == nil {
 		var rs sparql.RunStats
 		var fs sparql.FaultStats
-		sol, err := prep.RunSolutions(ctx, s.graph,
-			sparql.WithParallelism(s.cfg.QueryParallelism),
-			sparql.WithRunStats(&rs), sparql.WithFaultStats(&fs))
+		opts = append(opts, sparql.WithRunStats(&rs), sparql.WithFaultStats(&fs))
+		sol, err := prep.RunSolutions(ctx, s.graph, opts...)
 		s.m.observeExec(rs)
 		s.m.observeFault(fs)
+		s.m.observeBytes(rs.BytesCharged)
 		return sol, err
 	}
 	s.engineMu.Lock()
@@ -461,6 +591,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"mean_ms": meanMs,
 		},
 	}
+	res := s.m.resources()
+	resources := map[string]any{
+		"max_query_bytes":  s.cfg.MaxQueryBytes,
+		"bytes_charged":    res.bytesCharged,
+		"peak_query_bytes": res.peakQueryBytes,
+		"budget_aborts":    res.budgetAborts,
+		"shed_queries":     res.shedQueries,
+		"degraded_queries": res.degradedQueries,
+	}
+	if s.admit != nil {
+		resources["queue_depth"] = s.admit.waiting.Load()
+		resources["queue_capacity"] = s.admit.maxQueue
+		resources["cost_shed_threshold"] = s.costThreshold
+	}
+	body["resources"] = resources
 	fa := s.m.faults()
 	faults := map[string]any{
 		"attempts":         fa.attempts,

@@ -57,6 +57,16 @@ type metrics struct {
 	handlerPanics   uint64
 	partialFailures uint64
 	oversizeAborts  uint64
+
+	// Resource-governance counters: queries shed by admission control,
+	// queries admitted at degraded parallelism, queries aborted by
+	// their memory budget, cumulative bytes charged against budgets,
+	// and the largest single query's charge.
+	shedQueries     uint64
+	degradedQueries uint64
+	budgetAborts    uint64
+	bytesCharged    uint64
+	peakQueryBytes  int64
 }
 
 func newMetrics() *metrics {
@@ -134,6 +144,51 @@ func (m *metrics) partialFailure() { m.mu.Lock(); m.partialFailures++; m.failed+
 
 // oversize records one query aborted by the MaxResultRows guard.
 func (m *metrics) oversize() { m.mu.Lock(); m.oversizeAborts++; m.failed++; m.mu.Unlock() }
+
+// shed records one query turned away immediately by admission
+// control; it also counts as rejected (the client saw a 503 either
+// way — shed distinguishes the fast-fail path).
+func (m *metrics) shed() { m.mu.Lock(); m.shedQueries++; m.rejected++; m.mu.Unlock() }
+
+// degrade records one query admitted at reduced parallelism.
+func (m *metrics) degrade() { m.mu.Lock(); m.degradedQueries++; m.mu.Unlock() }
+
+// budgetAbort records one query aborted by its memory budget.
+func (m *metrics) budgetAbort() { m.mu.Lock(); m.budgetAborts++; m.failed++; m.mu.Unlock() }
+
+// observeBytes folds one query's budget charges into the cumulative
+// and peak gauges (n is RunStats.BytesCharged; 0 when no budget was
+// armed).
+func (m *metrics) observeBytes(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.bytesCharged += uint64(n)
+	if n > m.peakQueryBytes {
+		m.peakQueryBytes = n
+	}
+	m.mu.Unlock()
+}
+
+// resourceSnapshot renders the governance counters for /stats.
+type resourceSnapshot struct {
+	shedQueries, degradedQueries, budgetAborts uint64
+	bytesCharged                               uint64
+	peakQueryBytes                             int64
+}
+
+func (m *metrics) resources() resourceSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return resourceSnapshot{
+		shedQueries:     m.shedQueries,
+		degradedQueries: m.degradedQueries,
+		budgetAborts:    m.budgetAborts,
+		bytesCharged:    m.bytesCharged,
+		peakQueryBytes:  m.peakQueryBytes,
+	}
+}
 
 // observeFault folds one query's fault counters into the aggregate.
 func (m *metrics) observeFault(fs sparql.FaultStats) {

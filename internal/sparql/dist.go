@@ -627,7 +627,12 @@ func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) 
 			}
 			return
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var be *BudgetError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.As(err, &be) {
+			// Cancellation and budget exhaustion are query-level verdicts,
+			// not replica failures: retrying on another replica would
+			// charge the same bytes against the same shared budget (and
+			// burn the retry cycles a real fault might need).
 			w.err = err
 			return
 		}
@@ -714,7 +719,7 @@ func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
 	if d.env.err != nil {
 		return nil
 	}
-	return mergeTagged(outs, tags)
+	return mergeTagged(d.env, outs, tags)
 }
 
 // scanShard scans one shard for a pattern's matches from the empty row,
@@ -789,7 +794,7 @@ func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
 	if d.env.err != nil {
 		return nil
 	}
-	return mergeTagged(outs, tags)
+	return mergeTagged(d.env, outs, tags)
 }
 
 // pushdownShard runs the full pattern-at-a-time BGP loop against one
@@ -850,9 +855,10 @@ func pushdownShard(w *evalEnv, cps []cPattern, pos map[rdf.EncodedTriple]int32, 
 }
 
 // mergeTagged k-way merges per-shard row lists by their ascending
-// global-position tags. A triple lives on exactly one shard, so tags
-// never collide across lists and the merge is total and deterministic.
-func mergeTagged(outs [][]slotRow, tags [][]int32) []slotRow {
+// global-position tags, charging the gather buffer against the run's
+// budget. A triple lives on exactly one shard, so tags never collide
+// across lists and the merge is total and deterministic.
+func mergeTagged(env *evalEnv, outs [][]slotRow, tags [][]int32) []slotRow {
 	total := 0
 	nonEmpty := -1
 	lists := 0
@@ -868,6 +874,10 @@ func mergeTagged(outs [][]slotRow, tags [][]int32) []slotRow {
 	}
 	if lists == 1 {
 		return outs[nonEmpty]
+	}
+	env.chargeRowBatch(total, stageGather)
+	if env.err != nil { // over budget: skip the gather allocation
+		return nil
 	}
 	merged := make([]slotRow, 0, total)
 	idx := make([]int, len(outs))

@@ -373,6 +373,13 @@ type evalEnv struct {
 	fplan  *fault.Plan
 	tally  faultTally
 	ftally *faultTally
+
+	// Memory accounting (budget.go): mem, when non-nil, is the run's
+	// shared byte budget, charged at arena chunk growth, join-state
+	// builds, and gather merges. Workers share the root environment's
+	// tracker (workerEnv), so one budget spans the whole run. Nil — the
+	// default — costs each charge site one nil check.
+	mem *memBudget
 }
 
 // cancelCheckEvery is the amortization interval of the cancellation
@@ -425,6 +432,7 @@ func (env *evalEnv) newRow(src slotRow) slotRow {
 	}
 	if len(env.arena)+w > cap(env.arena) {
 		chunk := 256 * w
+		env.charge(int64(chunk)*termIDBytes, stageArena)
 		env.arena = make([]rdf.TermID, 0, chunk)
 	}
 	start := len(env.arena)
@@ -447,6 +455,7 @@ func (env *evalEnv) reserveRows(n int) {
 	if len(env.arena)+n*w <= cap(env.arena) {
 		return
 	}
+	env.charge(int64(n*w)*termIDBytes, stageArena)
 	env.arena = make([]rdf.TermID, 0, n*w)
 }
 
@@ -852,6 +861,7 @@ func (env *evalEnv) nestedJoinRows(a, b []slotRow) []slotRow {
 // arena exactly, the second emits them in a-major order.
 func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(b, key)
+	env.chargeJoinTable(head, next)
 	total := 0
 	for _, x := range a {
 		if env.interrupted() {
@@ -865,6 +875,10 @@ func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
 		}
 	}
 	if total == 0 {
+		return nil
+	}
+	env.chargeRowBatch(total, stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
 		return nil
 	}
 	out := make([]slotRow, 0, total)
@@ -888,6 +902,7 @@ func (env *evalEnv) hashJoinBuildRight(a, b []slotRow, key []int) []slotRow {
 // output still comes out in a-major order with b-suborder.
 func (env *evalEnv) hashJoinBuildLeft(a, b []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(a, key)
+	env.chargeJoinTable(head, next)
 	counts := make([]int32, len(a))
 	total := 0
 	for _, y := range b {
@@ -910,6 +925,10 @@ func (env *evalEnv) hashJoinBuildLeft(a, b []slotRow, key []int) []slotRow {
 	for i, c := range counts {
 		counts[i] = sum
 		sum += c
+	}
+	env.chargeRowBatch(total, stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
+		return nil
 	}
 	out := make([]slotRow, total)
 	env.reserveRows(total)
@@ -985,6 +1004,7 @@ func (env *evalEnv) nestedOptionalRows(left, right []slotRow) []slotRow {
 // copy, exactly like the nested loop.
 func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(right, key)
+	env.chargeJoinTable(head, next)
 	total, merged := 0, 0
 	for _, l := range left {
 		if env.interrupted() {
@@ -1003,6 +1023,10 @@ func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []s
 			total += n
 			merged += n
 		}
+	}
+	env.chargeRowBatch(total, stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
+		return nil
 	}
 	out := make([]slotRow, 0, total)
 	env.reserveRows(merged)
@@ -1031,6 +1055,7 @@ func (env *evalEnv) hashOptionalBuildRight(left, right []slotRow, key []int) []s
 // uncopied. Output order matches the nested loop exactly.
 func (env *evalEnv) hashOptionalBuildLeft(left, right []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(left, key)
+	env.chargeJoinTable(head, next)
 	counts := make([]int32, len(left))
 	merged := 0
 	for _, r := range right {
@@ -1054,6 +1079,10 @@ func (env *evalEnv) hashOptionalBuildLeft(left, right []slotRow, key []int) []sl
 		} else {
 			total += int(c)
 		}
+	}
+	env.chargeRowBatch(total, stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
+		return nil
 	}
 	out := make([]slotRow, total)
 	env.reserveRows(merged)

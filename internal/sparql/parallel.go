@@ -94,6 +94,10 @@ type RunStats struct {
 	ParallelOps int64
 	// Morsels counts the morsels dispatched across those operations.
 	Morsels int64
+	// BytesCharged is the evaluator-owned memory the run charged
+	// against its budget (arena chunks, join state, gather buffers);
+	// 0 unless the run was armed with WithMemoryBudget.
+	BytesCharged int64
 }
 
 // runOpts collects the per-Run options.
@@ -110,6 +114,10 @@ type runOpts struct {
 	// the shard-op retry policy (zero value = defaults).
 	faultStats *FaultStats
 	retry      RetryPolicy
+
+	// Memory-budget option (budget.go): > 0 bounds the run's charged
+	// bytes, < 0 arms tracking only, 0 disables accounting.
+	memBudget int64
 }
 
 // RunOption tunes one (*Prepared).Run / RunSolutions call.
@@ -140,11 +148,20 @@ func resolveRunOpts(opts []RunOption) runOpts {
 	return o
 }
 
-// configureParallel arms the environment for morsel dispatch. Width 1
-// leaves env.par nil: the run takes exactly the serial code paths.
+// configureParallel arms the environment for morsel dispatch and, when
+// requested, memory accounting. Width 1 leaves env.par nil: the run
+// takes exactly the serial code paths. No budget leaves env.mem nil:
+// every charge site costs one nil check.
 func (env *evalEnv) configureParallel(o *runOpts) {
 	if o.parallelism > 1 {
 		env.par = &parRun{n: o.parallelism}
+	}
+	if o.memBudget != 0 {
+		mb := &memBudget{}
+		if o.memBudget > 0 {
+			mb.limit = o.memBudget
+		}
+		env.mem = mb
 	}
 }
 
@@ -168,6 +185,9 @@ func (o *runOpts) capture(env *evalEnv) {
 		o.stats.ParallelOps = env.par.ops.Load()
 		o.stats.Morsels = env.par.morsels.Load()
 	}
+	if env.mem != nil {
+		o.stats.BytesCharged = env.mem.used.Load()
+	}
 }
 
 // canParallel reports whether a bulk operation over n input items
@@ -188,6 +208,7 @@ func (env *evalEnv) workerEnv() *evalEnv {
 		stats: env.stats,
 		ctx:   env.ctx,
 		par:   env.par,
+		mem:   env.mem, // one shared budget across every worker
 
 		fplan:  env.fplan,
 		ftally: env.ftally,
@@ -329,14 +350,18 @@ func (env *evalEnv) runMorsels(total, needed int, produced *atomic.Int64, mk fun
 }
 
 // mergeMorsels concatenates per-morsel output buffers in morsel order
-// (= serial order). Returns nil for an empty result, like the serial
-// join paths.
-func mergeMorsels(outs [][]slotRow) []slotRow {
+// (= serial order), charging the merged batch against the run's
+// budget. Returns nil for an empty result, like the serial join paths.
+func mergeMorsels(env *evalEnv, outs [][]slotRow) []slotRow {
 	total := 0
 	for _, o := range outs {
 		total += len(o)
 	}
 	if total == 0 {
+		return nil
+	}
+	env.chargeRowBatch(total, stageJoin)
+	if env.err != nil { // over budget: skip the merge allocation
 		return nil
 	}
 	merged := make([]slotRow, 0, total)
@@ -371,7 +396,7 @@ func (env *evalEnv) seedScanPar(ps *patternScan, row slotRow, max int) []slotRow
 	if env.err != nil {
 		return nil
 	}
-	merged := mergeMorsels(outs[:dispatched])
+	merged := mergeMorsels(env, outs[:dispatched])
 	if merged == nil {
 		// Serial seed scans yield an empty non-nil slice; callers only
 		// check len, but stay consistent.
@@ -387,6 +412,7 @@ func (env *evalEnv) seedScanPar(ps *patternScan, row slotRow, max int) []slotRow
 // serial output.
 func (env *evalEnv) hashJoinBuildRightPar(a, b []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(b, key)
+	env.chargeJoinTable(head, next)
 	n := len(a)
 	total := rdf.MorselCount(n, morselSize)
 	outs := make([][]slotRow, total)
@@ -411,7 +437,7 @@ func (env *evalEnv) hashJoinBuildRightPar(a, b []slotRow, key []int) []slotRow {
 	if env.err != nil {
 		return nil
 	}
-	return mergeMorsels(outs)
+	return mergeMorsels(env, outs)
 }
 
 // hashOptionalBuildRightPar mirrors hashOptionalBuildRight: morsels
@@ -419,6 +445,7 @@ func (env *evalEnv) hashJoinBuildRightPar(a, b []slotRow, key []int) []slotRow {
 // uncopied inside their morsel's buffer.
 func (env *evalEnv) hashOptionalBuildRightPar(left, right []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(right, key)
+	env.chargeJoinTable(head, next)
 	n := len(left)
 	total := rdf.MorselCount(n, morselSize)
 	outs := make([][]slotRow, total)
@@ -448,7 +475,7 @@ func (env *evalEnv) hashOptionalBuildRightPar(left, right []slotRow, key []int) 
 	if env.err != nil {
 		return nil
 	}
-	return mergeMorsels(outs)
+	return mergeMorsels(env, outs)
 }
 
 // scatterMorselSpan picks the morsel size for the build-left scatter
@@ -472,8 +499,15 @@ func scatterMorselSpan(n, par int) (size, count int) {
 // a disjoint output range, and the order is byte-identical to serial.
 func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(a, key)
+	env.chargeJoinTable(head, next)
 	la, n := len(a), len(b)
 	size, total := scatterMorselSpan(n, env.par.n)
+	// The cursor matrix and its starts snapshot both cost one int32 per
+	// (morsel, build row).
+	env.charge(2*int64(total*la)*termIDBytes, stageJoin)
+	if env.err != nil {
+		return nil
+	}
 	cursors := make([]int32, total*la)
 	// starts snapshots the write cursors before the emit pass, so a
 	// re-run task (panic recovery, parallel.go runTask) restores its
@@ -528,6 +562,10 @@ func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
 	if pos == 0 {
 		return nil
 	}
+	env.chargeRowBatch(int(pos), stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
+		return nil
+	}
 	starts = append([]int32(nil), cursors...)
 	out := make([]slotRow, pos)
 	probe(true, out)
@@ -546,8 +584,14 @@ func (env *evalEnv) hashJoinBuildLeftPar(a, b []slotRow, key []int) []slotRow {
 // places them.
 func (env *evalEnv) hashOptionalBuildLeftPar(left, right []slotRow, key []int) []slotRow {
 	head, next, mask := buildJoinTable(left, key)
+	env.chargeJoinTable(head, next)
 	ll, n := len(left), len(right)
 	size, total := scatterMorselSpan(n, env.par.n)
+	// Cursor matrix + starts snapshot: one int32 each per (morsel, row).
+	env.charge(2*int64(total*ll)*termIDBytes, stageJoin)
+	if env.err != nil {
+		return nil
+	}
 	cursors := make([]int32, total*ll)
 	// starts: see hashJoinBuildLeftPar — restores a re-run emit task's
 	// cursor row so retries stay idempotent.
@@ -598,6 +642,10 @@ func (env *evalEnv) hashOptionalBuildLeftPar(left, right []slotRow, key []int) [
 		} else {
 			outLen += matches
 		}
+	}
+	env.chargeRowBatch(outLen, stageJoin)
+	if env.err != nil { // over budget: skip the output allocation
+		return nil
 	}
 	out := make([]slotRow, outLen)
 	pos := int32(0)

@@ -41,6 +41,15 @@ type Prepared struct {
 	// immutable once built.
 	distSet   *ShardSet
 	distPlans [][]cPattern
+
+	// Cost-estimate memo (budget.go): the admission controller's work
+	// estimate, keyed like the plan caches (graph snapshot / shard-set
+	// pointer) so the per-request hot path is one mutex-guarded lookup.
+	costView   *rdf.EncodedView
+	costLen    int
+	costVal    int64
+	costSet    *ShardSet
+	costSetVal int64
 }
 
 // Prepare parses text and compiles it for repeated execution.
