@@ -10,6 +10,7 @@
 //	rdfbench -shape star          # only one query shape
 //	rdfbench -engine S2RDF        # only one system
 //	rdfbench -shards 4            # partition-strategy latency comparison
+//	rdfbench -shards 4 -trace     # + per-query span breakdown
 //
 // With -shards N the engine assessment is replaced by the
 // partition-strategy comparison: the dataset is sharded N-way under
@@ -17,7 +18,10 @@
 // end-to-end through the distributed executor, so the report pairs the
 // static placement scores (balance, edge cut, star locality) with the
 // measured query latency and the route each query took (p = pushdown,
-// s = scatter-gather).
+// s = scatter-gather). Adding -trace runs each query once more under
+// execution tracing and reports where its time went — scan, join,
+// gather (shard fan-out and merge), and result serialization self
+// times — as extra columns in both the table and -csv outputs.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rdf"
 	"repro/internal/shard"
@@ -47,6 +52,7 @@ func main() {
 	executors := flag.Int("executors", 2, "simulated executors")
 	shards := flag.Int("shards", 0, "compare partition strategies end-to-end over N shards instead of assessing engines")
 	repeat := flag.Int("repeat", 3, "runs per query in -shards mode (best time reported)")
+	trace := flag.Bool("trace", false, "in -shards mode, add a per-query span breakdown (scan/join/gather/serialize self times)")
 	flag.Parse()
 
 	conf := spark.Config{
@@ -86,8 +92,12 @@ func main() {
 	}
 
 	if *shards > 0 {
-		runShardBench(triples, queries, *shards, *repeat, *csv)
+		runShardBench(triples, queries, *shards, *repeat, *csv, *trace)
 		return
+	}
+	if *trace {
+		fmt.Fprintln(os.Stderr, "-trace needs -shards mode")
+		os.Exit(2)
 	}
 
 	engines := systems.AllEngines(conf)
@@ -127,7 +137,7 @@ func main() {
 // latency per strategy, not just load-balance/edge-cut scores. With
 // csvOut the same measurements stream as one CSV row per (strategy,
 // query) pair, ready for spreadsheet or pandas post-processing.
-func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int, csvOut bool) {
+func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int, csvOut, traceOn bool) {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -138,7 +148,11 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 	}
 	deduped := rdf.Dedupe(triples)
 	if csvOut {
-		fmt.Println("strategy,subject_colocated,balance,edge_cut,star_locality,query,route,shards_touched,shards,best_ms,rows")
+		header := "strategy,subject_colocated,balance,edge_cut,star_locality,query,route,shards_touched,shards,best_ms,rows"
+		if traceOn {
+			header += ",scan_ms,join_ms,gather_ms,serialize_ms"
+		}
+		fmt.Println(header)
 	} else {
 		fmt.Printf("partition-strategy comparison: %d triples, %d shards, best of %d runs\n\n",
 			len(deduped), nShards, repeat)
@@ -184,22 +198,70 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 				route = "p"
 			}
 			total += best
+			var bd breakdown
+			if traceOn {
+				bd = traceQuery(ctx, sp)
+			}
 			if csvOut {
-				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%d\n",
+				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%d",
 					name, sg.SubjectColocated(),
 					quality.Balance, quality.EdgeCut, quality.StarLocality,
 					nq.Name, route, st.ShardsTouched, st.Shards,
 					float64(best.Microseconds())/1000, rows)
+				if traceOn {
+					fmt.Printf(",%.3f,%.3f,%.3f,%.3f", bd.scan, bd.join, bd.gather, bd.serialize)
+				}
+				fmt.Println()
 				continue
 			}
-			fmt.Printf("  %-16s %9.2fms  route=%s shards=%d/%d  rows=%d\n",
+			fmt.Printf("  %-16s %9.2fms  route=%s shards=%d/%d  rows=%d",
 				nq.Name, float64(best.Microseconds())/1000, route,
 				st.ShardsTouched, st.Shards, rows)
+			if traceOn {
+				fmt.Printf("  scan=%.2fms join=%.2fms gather=%.2fms serialize=%.2fms",
+					bd.scan, bd.join, bd.gather, bd.serialize)
+			}
+			fmt.Println()
 		}
 		if !csvOut {
 			fmt.Printf("  %-16s %9.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
 		}
 	}
+}
+
+// breakdown is one traced query's self-time split, in milliseconds.
+type breakdown struct {
+	scan, join, gather, serialize float64
+}
+
+// traceQuery runs one extra traced execution and buckets every span's
+// self time into the report's categories: scans (seed and extension
+// passes), joins (including OPTIONAL), gather (shard scatter/pushdown
+// fan-out and merge), plus the time to render the result table.
+func traceQuery(ctx context.Context, sp *shard.Prepared) breakdown {
+	tr := obs.New("query")
+	res, err := sp.Run(ctx, sparql.WithTrace(tr))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	serStart := time.Now()
+	_ = res.String()
+	var bd breakdown
+	bd.serialize = float64(time.Since(serStart).Microseconds()) / 1000
+	tr.Finish()
+	tr.Root().Walk(func(s *obs.Span, _ int) {
+		ms := float64(s.SelfTime().Microseconds()) / 1000
+		switch s.Name {
+		case "seed_scan", "match":
+			bd.scan += ms
+		case "join", "optional":
+			bd.join += ms
+		case "scatter", "pushdown", "gather":
+			bd.gather += ms
+		}
+	})
+	return bd
 }
 
 func buildDataset(dataset, scale string) []rdf.Triple {

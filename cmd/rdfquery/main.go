@@ -10,6 +10,7 @@
 //	rdfquery -data data.nt -query '...' -engine reference
 //	echo 'ASK { ?s ?p ?o }' | rdfquery -data data.nt -queryfile -
 //	rdfquery -data data.nt -queryfile q.rq -repeat 100   # one Prepared plan
+//	rdfquery -data data.nt -query '...' -explain         # EXPLAIN ANALYZE tree
 //	rdfquery -engines    # list available engines
 package main
 
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/spark"
 	"repro/internal/sparql"
@@ -35,6 +37,7 @@ func main() {
 	engineName := flag.String("engine", "reference", "engine name or 'reference'")
 	repeat := flag.Int("repeat", 1, "run the query N times reusing one prepared plan")
 	timeout := flag.Duration("timeout", 0, "per-run deadline for the reference evaluator (0 = none)")
+	explain := flag.Bool("explain", false, "print the EXPLAIN ANALYZE span tree after the results (reference engine only)")
 	list := flag.Bool("engines", false, "list engine names and exit")
 	flag.Parse()
 
@@ -98,25 +101,42 @@ func main() {
 	if *engineName == "reference" {
 		g := rdf.NewGraph(triples)
 		var res *sparql.Results
+		var tr *obs.Trace
 		start := time.Now()
 		for i := 0; i < *repeat; i++ {
 			ctx, cancel := context.Background(), context.CancelFunc(func() {})
 			if *timeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, *timeout)
 			}
-			res, err = prep.Run(ctx, g)
+			var opts []sparql.RunOption
+			if *explain {
+				// A fresh trace per run; the printed tree is the last
+				// run's, the one the timing footer also reflects best.
+				tr = obs.New("query")
+				opts = append(opts, sparql.WithTrace(tr))
+			}
+			res, err = prep.Run(ctx, g, opts...)
 			cancel()
+			if tr != nil {
+				tr.Finish()
+			}
 			if err != nil {
 				fail(err.Error())
 			}
 		}
 		elapsed := time.Since(start)
 		fmt.Print(res.String())
+		if tr != nil {
+			fmt.Print(tr.Text())
+		}
 		if *repeat > 1 {
 			fmt.Printf("%d runs of one prepared plan in %v (%v/run)\n",
 				*repeat, elapsed.Round(time.Microsecond), (elapsed / time.Duration(*repeat)).Round(time.Microsecond))
 		}
 		return
+	}
+	if *explain {
+		fail("-explain needs the reference engine")
 	}
 	for _, e := range systems.AllEngines(conf) {
 		if e.Info().Name != *engineName {

@@ -32,8 +32,16 @@
 // deadline, and exits 0.
 //
 // Endpoints: /sparql (GET ?query=..., POST form or
-// application/sparql-query), /healthz, /stats. Useful /sparql
-// parameters: format=json|tsv, timeout=500ms.
+// application/sparql-query), /healthz, /stats, /metrics (Prometheus
+// text exposition). Useful /sparql parameters: format=json|tsv,
+// timeout=500ms, explain=analyze (answer with the EXPLAIN ANALYZE
+// span tree instead of results).
+//
+// Observability flags: -debug-addr serves the pprof profiling
+// endpoints on a separate listener (kept off the query port);
+// -slow-query-threshold arms per-query tracing and logs queries
+// slower than the threshold as JSON lines to -slow-query-log
+// (default stderr).
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -77,6 +86,9 @@ func main() {
 	maxQueryBytes := flag.Int64("max-query-bytes", 0, "per-query memory budget in bytes; over-budget queries abort with 413 (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "queries that may wait for a worker before new arrivals are shed (0 = 4x max-concurrent, negative disables shedding)")
 	chaosReplica := flag.Int("chaos-fail-replica", -1, "fail this replica index of every shard (chaos demo; needs -replicas > 1)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof profiling endpoints on this separate address (empty disables)")
+	slowThreshold := flag.Duration("slow-query-threshold", 0, "trace every query and log ones slower than this as JSON lines (0 disables)")
+	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr; needs -slow-query-threshold)")
 	flag.Parse()
 
 	triples, err := loadTriples(*dataPath, *dataset, *scale)
@@ -85,14 +97,29 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxConcurrent:    *maxConcurrent,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		PlanCacheSize:    *cacheSize,
-		QueryParallelism: *queryParallelism,
-		MaxResultRows:    *maxResultRows,
-		MaxQueryBytes:    *maxQueryBytes,
-		MaxQueue:         *maxQueue,
+		MaxConcurrent:      *maxConcurrent,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		PlanCacheSize:      *cacheSize,
+		QueryParallelism:   *queryParallelism,
+		MaxResultRows:      *maxResultRows,
+		MaxQueryBytes:      *maxQueryBytes,
+		MaxQueue:           *maxQueue,
+		SlowQueryThreshold: *slowThreshold,
+	}
+	if *slowLogPath != "" {
+		if *slowThreshold <= 0 {
+			fail("-slow-query-log needs -slow-query-threshold > 0")
+		}
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer f.Close()
+		cfg.SlowQueryLog = f
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
 	}
 	if *chaosReplica >= 0 {
 		if *shards <= 0 || *replicas < 2 {
@@ -184,6 +211,23 @@ func serve(addr string, h http.Handler, drain, maxTimeout time.Duration) {
 			fail(err.Error())
 		}
 		log.Printf("rdfserve: drained, bye")
+	}
+}
+
+// serveDebug exposes the pprof profiling endpoints on their own
+// listener and mux, deliberately separate from the query port so
+// profiling is never reachable through whatever fronts /sparql (and so
+// nothing here registers on http.DefaultServeMux).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("rdfserve: pprof on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("rdfserve: debug listener: %v", err)
 	}
 }
 

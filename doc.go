@@ -194,6 +194,34 @@
 // block reports bytes charged, the peak single-query charge, budget
 // aborts, and shed/degraded query counts.
 //
+// # Observability
+//
+// internal/obs is the engine's observability layer, built under one
+// contract: observing a run never steers it. A run armed with
+// sparql.WithTrace records a span tree down the whole execution path —
+// parse (plan-cache hit/miss), each BGP with its join order and
+// per-pattern selectivity estimates next to actual row counts, each
+// hash join's build side and inputs/output, morsel dispatch counts and
+// per-worker busy time (accumulated in worker-owned atomics, merged
+// onto the root span only after the pool quiesces — the span tree
+// itself is driver-only), shard scatter/gather with per-shard row
+// counts and pruned/retried/failed-over shards, the modifier pipeline,
+// and response serialization. Traced output is byte-identical to an
+// untraced run (pinned across parallelism 1/4 and shards 1/3 under the
+// race detector), and a disarmed run pays one nil check per trace
+// site, leaving every allocation pin intact. Three surfaces consume
+// the trace: explain=analyze on /sparql (and rdfquery -explain)
+// answers with the span tree as JSON or indented text instead of
+// results; GET /metrics renders every /stats counter plus
+// end-to-end/exec/serialize latency histograms in the Prometheus text
+// exposition format (hand-rolled, zero dependencies); and the
+// slow-query log (Config.SlowQueryThreshold; rdfserve
+// -slow-query-threshold) emits one JSON line per slow query — request
+// id, query hash (never the text), route, shard fan-out, and the
+// top-3 spans by self time. Every response carries an X-Request-ID
+// (inbound ids are honored, error bodies quote it), and rdfserve
+// -debug-addr serves pprof on a separate listener off the query port.
+//
 // Run the micro-benchmarks tracking these paths with
 //
 //	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...

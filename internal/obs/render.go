@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The two EXPLAIN ANALYZE renderings of a finished trace: a JSON
+// document for programmatic consumers and an indented text tree for
+// humans. Both are hand-rolled over the ordered Attr slices so two
+// identical runs render byte-identical output (encoding/json over a
+// map would shuffle attribute keys).
+
+// JSON renders the trace as a JSON document:
+//
+//	{"name":...,"start_us":...,"duration_us":...,"self_us":...,
+//	 "attrs":{...},"children":[...]}
+func (t *Trace) JSON() []byte {
+	buf := make([]byte, 0, 1024)
+	return appendSpanJSON(buf, t.root)
+}
+
+func appendSpanJSON(buf []byte, s *Span) []byte {
+	buf = append(buf, `{"name":`...)
+	buf = appendJSONString(buf, s.Name)
+	buf = append(buf, `,"start_us":`...)
+	buf = strconv.AppendInt(buf, s.Start.Microseconds(), 10)
+	buf = append(buf, `,"duration_us":`...)
+	buf = strconv.AppendInt(buf, s.Duration.Microseconds(), 10)
+	buf = append(buf, `,"self_us":`...)
+	buf = strconv.AppendInt(buf, s.SelfTime().Microseconds(), 10)
+	if len(s.Attrs) > 0 {
+		buf = append(buf, `,"attrs":{`...)
+		for i, a := range s.Attrs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, a.Key)
+			buf = append(buf, ':')
+			if a.IsStr {
+				buf = appendJSONString(buf, a.Str)
+			} else {
+				buf = strconv.AppendInt(buf, a.Int, 10)
+			}
+		}
+		buf = append(buf, '}')
+	}
+	if len(s.Children) > 0 {
+		buf = append(buf, `,"children":[`...)
+		for i, c := range s.Children {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendSpanJSON(buf, c)
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, '}')
+}
+
+// appendJSONString appends s as a JSON string literal. UTF-8 passes
+// through unescaped, which JSON allows.
+func appendJSONString(buf []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// Text renders the trace as an indented tree, one span per line:
+//
+//	query                              12.345ms
+//	  bgp                               5.002ms patterns=2 join_order=1,0
+//	    seed_scan                       2.000ms est=100 rows=100
+func (t *Trace) Text() string {
+	var b strings.Builder
+	t.root.Walk(func(sp *Span, depth int) {
+		name := strings.Repeat("  ", depth) + sp.Name
+		b.WriteString(name)
+		if pad := 34 - len(name); pad > 0 {
+			b.WriteString(strings.Repeat(" ", pad))
+		} else {
+			b.WriteByte(' ')
+		}
+		b.WriteString(formatMs(sp.Duration))
+		for _, a := range sp.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			if a.IsStr {
+				b.WriteString(a.Str)
+			} else {
+				b.WriteString(strconv.FormatInt(a.Int, 10))
+			}
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// formatMs renders a duration as right-aligned milliseconds with
+// microsecond precision ("   12.345ms").
+func formatMs(d time.Duration) string {
+	ms := strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+	if pad := 9 - len(ms); pad > 0 {
+		ms = strings.Repeat(" ", pad) + ms
+	}
+	return ms + "ms"
+}

@@ -18,12 +18,15 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -31,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/shard"
 	"repro/internal/sparql"
@@ -103,6 +107,16 @@ type Config struct {
 	// Results under an armed plan stay byte-identical as long as at
 	// least one replica of every needed shard survives.
 	FaultPlan *fault.Plan
+	// SlowQueryThreshold, when > 0, arms the slow-query log: every
+	// query runs traced (sparql.WithTrace), and one whose end-to-end
+	// latency — arrival to response write complete — reaches the
+	// threshold is recorded as one JSON line on SlowQueryLog, keyed by
+	// request id and query hash with its top-3 spans by self time.
+	// Default 0 (disabled; queries keep the untraced fast path).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is the slow-query log destination. Default (nil) is
+	// os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +174,11 @@ type Server struct {
 	admit         *admission
 	costThreshold int64
 
+	// slowLog, when set, receives one JSON line per query slower than
+	// Config.SlowQueryThreshold; its presence arms tracing on every
+	// query.
+	slowLog *obs.SlowQueryLogger
+
 	started time.Time
 }
 
@@ -176,9 +195,17 @@ func newServer(cfg Config) *Server {
 	if cfg.MaxQueue > 0 {
 		s.admit = newAdmission(cfg.MaxQueue)
 	}
+	if cfg.SlowQueryThreshold > 0 {
+		out := cfg.SlowQueryLog
+		if out == nil {
+			out = os.Stderr
+		}
+		s.slowLog = obs.NewSlowQueryLogger(out)
+	}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -244,21 +271,73 @@ func NewWithEngine(g *rdf.Graph, engine core.Engine, cfg Config) *Server {
 // wrapped in the panic-recovery middleware.
 func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.ServeHTTP) }
 
-// ServeHTTP implements http.Handler. It is the recovery middleware: a
-// panicking handler (a real bug or an injected fault.PointServer crash)
-// answers 500 and increments the recovered-panic counter — the process
-// stays up and keeps serving.
+// ServeHTTP implements http.Handler. It stamps the per-request id and
+// is the recovery middleware: a panicking handler (a real bug or an
+// injected fault.PointServer crash) answers 500 and increments the
+// recovered-panic counter — the process stays up and keeps serving.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every request gets an id before anything can fail: a usable
+	// inbound X-Request-ID survives (ids then correlate across
+	// proxies), anything else is replaced with fresh random hex. The id
+	// is echoed on every response — including error bodies — and keys
+	// the slow-query log.
+	id := requestIDFrom(r)
+	r.Header.Set(requestIDHeader, id)
+	w.Header().Set(requestIDHeader, id)
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.m.panicked()
 			// Best effort: if the handler already streamed part of a
 			// body the status line is gone and this only ends the
 			// response.
-			http.Error(w, "internal server error", http.StatusInternalServerError)
+			http.Error(w, "internal server error (request "+id+")", http.StatusInternalServerError)
 		}
 	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+const requestIDHeader = "X-Request-ID"
+
+// requestIDFrom returns the inbound request id when it is usable (1-64
+// characters from a conservative token alphabet) or a fresh random
+// 16-hex-digit id otherwise.
+func requestIDFrom(r *http.Request) string {
+	if id := r.Header.Get(requestIDHeader); validRequestID(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing a query over; a
+		// constant id still marks the response as served by us.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts ids that are safe to echo into headers, error
+// bodies, and JSON logs unescaped.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// requestID reads the id ServeHTTP stamped onto the request.
+func requestID(r *http.Request) string { return r.Header.Get(requestIDHeader) }
+
+// httpError answers like http.Error with the request id appended, so
+// error responses correlate with proxy logs and the slow-query log.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, msg string, code int) {
+	http.Error(w, msg+" (request "+requestID(r)+")", code)
 }
 
 // queryText extracts the query string per the SPARQL 1.1 protocol:
@@ -328,9 +407,14 @@ func (s *Server) queryTimeout(r *http.Request) time.Duration {
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	// Latency accounting starts at arrival on the monotonic clock: the
+	// served histogram spans parsing, admission queueing, evaluation,
+	// and response streaming alike, so a query that was slow because
+	// the server was busy reads as slow.
+	arrival := time.Now()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		s.m.fail()
-		http.Error(w, fmt.Sprintf("sparql: method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+		s.httpError(w, r, fmt.Sprintf("sparql: method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 		return
 	}
 	if r.Method == http.MethodPost && s.cfg.MaxBodyBytes > 0 {
@@ -341,22 +425,43 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.m.fail()
-			http.Error(w, "sparql: request body exceeds the server cap", http.StatusRequestEntityTooLarge)
+			s.httpError(w, r, "sparql: request body exceeds the server cap", http.StatusRequestEntityTooLarge)
 			return
 		}
 		s.m.fail()
-		http.Error(w, "sparql: "+err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, "sparql: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if strings.TrimSpace(text) == "" {
 		s.m.fail()
-		http.Error(w, "sparql: missing query", http.StatusBadRequest)
+		s.httpError(w, r, "sparql: missing query", http.StatusBadRequest)
 		return
 	}
-	prep, _, err := s.cache.prepare(text)
+	// Tracing is armed per request: always for EXPLAIN ANALYZE, and on
+	// every query when the slow-query log is on (the log's top-spans
+	// report comes from the trace). Unarmed queries keep the
+	// evaluator's one-nil-check fast path.
+	explain := param(r, "explain") == "analyze"
+	var tr *obs.Trace
+	if explain || s.slowLog != nil {
+		tr = obs.New("query")
+	}
+	var psp *obs.Span
+	if tr != nil {
+		psp = tr.Begin("parse")
+	}
+	prep, cached, err := s.cache.prepare(text)
+	if tr != nil {
+		if cached {
+			psp.SetStr("plan_cache", "hit")
+		} else {
+			psp.SetStr("plan_cache", "miss")
+		}
+		tr.End(psp)
+	}
 	if err != nil {
 		s.m.fail()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, r, err.Error(), http.StatusBadRequest)
 		return
 	}
 
@@ -371,7 +476,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		// middleware, a delay holds the request in-flight (drain tests).
 		if err := p.Hit(fault.PointServer); err != nil {
 			s.m.fail()
-			http.Error(w, "sparql: "+err.Error(), http.StatusInternalServerError)
+			s.httpError(w, r, "sparql: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
@@ -389,7 +494,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		if shed {
 			s.admit.waiting.Add(-1)
 			s.m.shed()
-			http.Error(w, "sparql: server overloaded, query shed", http.StatusServiceUnavailable)
+			s.httpError(w, r, "sparql: server overloaded, query shed", http.StatusServiceUnavailable)
 			return
 		}
 		if newPar < par {
@@ -410,18 +515,19 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			s.admit.waiting.Add(-1)
 		}
 		s.m.reject()
-		http.Error(w, "sparql: server at capacity", http.StatusServiceUnavailable)
+		s.httpError(w, r, "sparql: server at capacity", http.StatusServiceUnavailable)
 		return
 	}
 	s.m.inFlight.Add(1)
 	defer s.m.inFlight.Add(-1)
 
-	start := time.Now()
-	sol, err := s.run(ctx, prep, par)
+	execStart := time.Now()
+	sol, info, err := s.run(ctx, prep, par, tr)
+	execDur := time.Since(execStart)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.m.timeout()
-			http.Error(w, "sparql: query deadline exceeded", http.StatusGatewayTimeout)
+			s.httpError(w, r, "sparql: query deadline exceeded", http.StatusGatewayTimeout)
 			return
 		}
 		if errors.Is(err, context.Canceled) {
@@ -432,26 +538,48 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		var pf *sparql.PartialFailureError
 		if errors.As(err, &pf) {
 			s.m.partialFailure()
-			http.Error(w, "sparql: "+err.Error(), http.StatusBadGateway)
+			s.httpError(w, r, "sparql: "+err.Error(), http.StatusBadGateway)
 			return
 		}
 		var be *sparql.BudgetError
 		if errors.As(err, &be) {
 			s.m.budgetAbort()
-			http.Error(w, be.Error(), http.StatusRequestEntityTooLarge)
+			s.httpError(w, r, be.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
 		var oe *OverloadError
 		if errors.As(err, &oe) {
 			s.m.oversize()
-			http.Error(w, oe.Error(), http.StatusRequestEntityTooLarge)
+			s.httpError(w, r, oe.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
 		s.m.fail()
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, r, err.Error(), http.StatusInternalServerError)
 		return
 	}
 
+	if explain {
+		// EXPLAIN ANALYZE: the query ran for real — the trace carries
+		// actual row counts next to the planner's estimates — but the
+		// response is the trace itself, not the result set.
+		tr.Finish()
+		if param(r, "format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, tr.Text())
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(tr.JSON(), '\n'))
+		}
+		s.m.observe(time.Since(arrival))
+		s.m.observeStages(execDur, 0)
+		return
+	}
+
+	var ssp *obs.Span
+	if tr != nil {
+		ssp = tr.Begin("serialize")
+	}
+	serStart := time.Now()
 	var werr error
 	switch {
 	case sol.IsGraph():
@@ -464,20 +592,57 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		werr = writeJSONResults(ctx, w, sol)
 	}
+	serDur := time.Since(serStart)
+	if tr != nil {
+		rows := sol.Len()
+		if sol.IsGraph() {
+			rows = len(sol.Graph())
+		}
+		ssp.SetInt("rows", int64(rows))
+		tr.End(ssp)
+	}
 	if werr != nil {
 		// Headers are out; all we can do is stop streaming.
 		s.m.timeout()
 		return
 	}
-	s.m.observe(time.Since(start))
+	total := time.Since(arrival)
+	s.m.observe(total)
+	s.m.observeStages(execDur, serDur)
+	s.logSlowQuery(r, text, tr, info, total)
+}
+
+// logSlowQuery records one served query in the slow-query log when the
+// log is armed and the end-to-end latency reached the threshold.
+func (s *Server) logSlowQuery(r *http.Request, text string, tr *obs.Trace, info runInfo, total time.Duration) {
+	if s.slowLog == nil || total < s.cfg.SlowQueryThreshold {
+		return
+	}
+	tr.Finish()
+	s.slowLog.Log(obs.SlowQueryEntry{
+		RequestID:     requestID(r),
+		QueryHash:     obs.QueryHash(text),
+		Route:         info.route,
+		Shards:        info.shards,
+		ShardsTouched: info.touched,
+		DurationMs:    float64(total) / float64(time.Millisecond),
+		TopSpans:      tr.TopSelf(3),
+	})
+}
+
+// runInfo is the routing report eval hands back for the slow-query
+// log: which route the query took and its shard fan-out.
+type runInfo struct {
+	route           string
+	shards, touched int
 }
 
 // run evaluates one admitted query at the parallelism admission
 // granted it.
-func (s *Server) run(ctx context.Context, prep *sparql.Prepared, par int) (*sparql.Solutions, error) {
-	sol, err := s.eval(ctx, prep, par)
+func (s *Server) run(ctx context.Context, prep *sparql.Prepared, par int, tr *obs.Trace) (*sparql.Solutions, runInfo, error) {
+	sol, info, err := s.eval(ctx, prep, par, tr)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	// Resource guard: abort oversized results before a single row is
 	// streamed, so the overload maps to a clean 413.
@@ -487,10 +652,10 @@ func (s *Server) run(ctx context.Context, prep *sparql.Prepared, par int) (*spar
 			rows = len(sol.Graph())
 		}
 		if rows > cap {
-			return nil, &OverloadError{Rows: rows, Limit: cap}
+			return nil, info, &OverloadError{Rows: rows, Limit: cap}
 		}
 	}
-	return sol, nil
+	return sol, info, nil
 }
 
 // estimateCost returns the planner's work estimate for prep against
@@ -506,11 +671,15 @@ func (s *Server) estimateCost(prep *sparql.Prepared) int64 {
 }
 
 // eval dispatches one query to the configured backend at the given
-// morsel parallelism, armed with the server's per-query memory budget.
-func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int) (*sparql.Solutions, error) {
+// morsel parallelism, armed with the server's per-query memory budget
+// and, when tr is non-nil, execution tracing.
+func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *obs.Trace) (*sparql.Solutions, runInfo, error) {
 	opts := []sparql.RunOption{sparql.WithParallelism(par)}
 	if s.cfg.MaxQueryBytes != 0 {
 		opts = append(opts, sparql.WithMemoryBudget(s.cfg.MaxQueryBytes))
+	}
+	if tr != nil {
+		opts = append(opts, sparql.WithTrace(tr))
 	}
 	if s.shards != nil {
 		var rs sparql.RunStats
@@ -524,7 +693,7 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int) (*spa
 		s.m.observeShard(st)
 		s.m.observeFault(fs)
 		s.m.observeBytes(rs.BytesCharged)
-		return sol, err
+		return sol, runInfo{route: string(st.Route), shards: st.Shards, touched: st.ShardsTouched}, err
 	}
 	if s.engine == nil {
 		var rs sparql.RunStats
@@ -534,18 +703,19 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int) (*spa
 		s.m.observeExec(rs)
 		s.m.observeFault(fs)
 		s.m.observeBytes(rs.BytesCharged)
-		return sol, err
+		return sol, runInfo{route: "local"}, err
 	}
 	s.engineMu.Lock()
 	defer s.engineMu.Unlock()
+	info := runInfo{route: "engine"}
 	if err := ctx.Err(); err != nil { // deadline may have passed in the queue
-		return nil, err
+		return nil, info, err
 	}
 	res, err := s.engine.Execute(prep.Query())
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	return sparql.ResultsSolutions(res), nil
+	return sparql.ResultsSolutions(res), info, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +737,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	served, failed, timeouts, rejected, hist, meanMs := s.m.snapshot()
 	parallelQueries, parallelOps, morsels := s.m.execSnapshot()
+	_, execHist, serHist := s.m.histograms()
 	body := map[string]any{
 		"plan_cache": map[string]any{
 			"hits":     hits,
@@ -589,6 +760,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"latency": map[string]any{
 			"buckets": hist,
 			"mean_ms": meanMs,
+			// Stage breakdown over the same bounds: evaluation vs
+			// response serialization.
+			"exec_ms":      histStats(execHist),
+			"serialize_ms": histStats(serHist),
 		},
 	}
 	res := s.m.resources()

@@ -29,6 +29,18 @@ type metrics struct {
 	count     uint64
 	totalSecs float64
 
+	// Stage histograms over successfully served queries: engine
+	// evaluation time and response serialization time, on the same
+	// bucket bounds as the end-to-end histogram. Splitting the two
+	// surfaces queries that are cheap to evaluate but expensive to
+	// stream (large results, slow clients).
+	execBuckets   []uint64
+	execCount     uint64
+	execTotalSecs float64
+	serBuckets    []uint64
+	serCount      uint64
+	serTotalSecs  float64
+
 	// Morsel execution counters (sparql.RunStats aggregated across
 	// reference-evaluator queries): how many queries actually split
 	// work into morsels, how many parallel scans/probes they ran, and
@@ -70,21 +82,46 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{buckets: make([]uint64, len(latencyBucketsMs)+1)}
+	return &metrics{
+		buckets:     make([]uint64, len(latencyBucketsMs)+1),
+		execBuckets: make([]uint64, len(latencyBucketsMs)+1),
+		serBuckets:  make([]uint64, len(latencyBucketsMs)+1),
+	}
 }
 
-// observe records one successfully served query and its latency.
-func (m *metrics) observe(d time.Duration) {
+// latencyBucket returns the index of the histogram bucket d falls in.
+func latencyBucket(d time.Duration) int {
 	ms := float64(d) / float64(time.Millisecond)
 	i := 0
 	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
 		i++
 	}
+	return i
+}
+
+// observe records one successfully served query and its end-to-end
+// latency (request arrival to response write complete).
+func (m *metrics) observe(d time.Duration) {
+	i := latencyBucket(d)
 	m.mu.Lock()
 	m.served++
 	m.buckets[i]++
 	m.count++
 	m.totalSecs += d.Seconds()
+	m.mu.Unlock()
+}
+
+// observeStages records one served query's evaluation and
+// serialization times into the per-stage histograms.
+func (m *metrics) observeStages(exec, serialize time.Duration) {
+	ei, si := latencyBucket(exec), latencyBucket(serialize)
+	m.mu.Lock()
+	m.execBuckets[ei]++
+	m.execCount++
+	m.execTotalSecs += exec.Seconds()
+	m.serBuckets[si]++
+	m.serCount++
+	m.serTotalSecs += serialize.Seconds()
 	m.mu.Unlock()
 }
 
@@ -224,10 +261,51 @@ func (m *metrics) faults() faultSnapshot {
 	}
 }
 
+// histSnapshot is a point-in-time copy of one latency histogram:
+// non-cumulative bucket counts (len(latencyBucketsMs)+1, last is
+// +Inf), total observation count, and the sum in seconds.
+type histSnapshot struct {
+	buckets   []uint64
+	count     uint64
+	totalSecs float64
+}
+
+// histograms copies the end-to-end, evaluation, and serialization
+// histograms for the /metrics and /stats renderers.
+func (m *metrics) histograms() (total, exec, serialize histSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := func(b []uint64, c uint64, s float64) histSnapshot {
+		out := make([]uint64, len(b))
+		copy(out, b)
+		return histSnapshot{buckets: out, count: c, totalSecs: s}
+	}
+	return cp(m.buckets, m.count, m.totalSecs),
+		cp(m.execBuckets, m.execCount, m.execTotalSecs),
+		cp(m.serBuckets, m.serCount, m.serTotalSecs)
+}
+
 // histogramBucket is one row of the latency histogram in /stats.
 type histogramBucket struct {
 	LeMs  float64 `json:"le_ms"` // upper bound; 0 means +Inf
 	Count uint64  `json:"count"`
+}
+
+// histStats renders one histogram snapshot in the /stats JSON shape.
+func histStats(h histSnapshot) map[string]any {
+	buckets := make([]histogramBucket, 0, len(h.buckets))
+	for i, c := range h.buckets {
+		b := histogramBucket{Count: c}
+		if i < len(latencyBucketsMs) {
+			b.LeMs = latencyBucketsMs[i]
+		}
+		buckets = append(buckets, b)
+	}
+	meanMs := 0.0
+	if h.count > 0 {
+		meanMs = h.totalSecs / float64(h.count) * 1000
+	}
+	return map[string]any{"buckets": buckets, "mean_ms": meanMs}
 }
 
 // snapshot renders the counters for the /stats endpoint.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -327,9 +328,10 @@ func (p *Prepared) subjectStarBGP() (BGP, bool) {
 	return bgp, true
 }
 
-// captureShard fills the caller's ShardStats after a sharded run.
+// captureShard fills the caller's ShardStats after a sharded run and,
+// on a traced run, stamps the routing report onto the trace root.
 func (o *runOpts) captureShard(d *distEnv) {
-	if o.shardStats == nil {
+	if o.shardStats == nil && d.env.trace == nil {
 		return
 	}
 	st := ShardStats{Route: d.route, Shards: len(d.ss.Views), ScatterPatterns: d.scatter}
@@ -339,7 +341,16 @@ func (o *runOpts) captureShard(d *distEnv) {
 		}
 	}
 	st.ShardsPruned = st.Shards - st.ShardsTouched
-	*o.shardStats = st
+	if o.shardStats != nil {
+		*o.shardStats = st
+	}
+	if d.env.trace != nil {
+		root := d.env.trace.t.Root()
+		root.SetStr("route", string(st.Route))
+		root.SetInt("shards", int64(st.Shards))
+		root.SetInt("shards_touched", int64(st.ShardsTouched))
+		root.SetInt("shards_pruned", int64(st.ShardsPruned))
+	}
 }
 
 // evalBGP evaluates one BGP over the shards: the pushdown route when
@@ -397,6 +408,7 @@ func (d *distEnv) planFor(seq int, b BGP) []cPattern {
 	cps := make([]cPattern, len(b.Patterns))
 	for i, tp := range b.Patterns {
 		cps[i] = d.compilePattern(tp)
+		cps[i].src = i
 	}
 	cps = orderPatterns(cps, len(d.env.vars))
 	if d.env.prep != nil {
@@ -704,13 +716,32 @@ func (d *distEnv) backoff(cycle int) error {
 // max rows draw only from per-shard prefixes of at most max rows.
 func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
 	d.scatter++
+	env := d.env
+	sp := env.span("scatter")
+	defer env.endSpan(sp)
+	var retries0, failovers0 int64
+	if sp != nil {
+		sp.SetInt("pattern", int64(cp.src))
+		sp.SetInt("est", int64(cp.est))
+		// Scatters run one at a time on the driver, so the run-tally
+		// deltas across this op are exactly its own retries/failovers.
+		retries0 = env.ftally.retries.Load()
+		failovers0 = env.ftally.failovers.Load()
+	}
 	nsh := len(d.ss.Views)
 	outs := make([][]slotRow, nsh)
 	tags := make([][]int32, nsh)
+	scanned := 0
 	// Pruning peeks at the primary view; replicas hold identical
 	// triples, so the peek is valid for whichever replica serves.
 	d.forEachShard(
-		func(s int) bool { return viewCandidateCount(d.ss.Views[s], cp) > 0 },
+		func(s int) bool {
+			if viewCandidateCount(d.ss.Views[s], cp) == 0 {
+				return false
+			}
+			scanned++
+			return true
+		},
 		func(s int, w *evalEnv) {
 			d.runShardOp(s, w, func(*rdf.EncodedView) {
 				outs[s], tags[s] = scanShard(w, cp, d.ss.Pos, max)
@@ -719,7 +750,23 @@ func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
 	if d.env.err != nil {
 		return nil
 	}
-	return mergeTagged(d.env, outs, tags)
+	if sp != nil {
+		sp.SetInt("shards_scanned", int64(scanned))
+		for s := range outs {
+			if len(outs[s]) > 0 {
+				sp.SetInt("shard_"+strconv.Itoa(s)+"_rows", int64(len(outs[s])))
+			}
+		}
+		if n := env.ftally.retries.Load() - retries0; n > 0 {
+			sp.SetInt("retries", n)
+		}
+		if n := env.ftally.failovers.Load() - failovers0; n > 0 {
+			sp.SetInt("failovers", n)
+		}
+	}
+	merged := mergeTagged(d.env, outs, tags)
+	sp.SetInt("rows", int64(len(merged)))
+	return merged
 }
 
 // scanShard scans one shard for a pattern's matches from the empty row,
@@ -781,11 +828,24 @@ func bindTriple(w *evalEnv, cp cPattern, t rdf.EncodedTriple, base, scratch slot
 // pushdown, sound because merged leading rows draw from per-shard
 // prefixes).
 func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
+	env := d.env
+	sp := env.span("pushdown")
+	defer env.endSpan(sp)
+	if sp != nil {
+		sp.SetInt("patterns", int64(len(cps)))
+	}
 	nsh := len(d.ss.Views)
 	outs := make([][]slotRow, nsh)
 	tags := make([][]int32, nsh)
+	covering := 0
 	d.forEachShard(
-		func(s int) bool { return shardCovers(d.ss.Views[s], cps) },
+		func(s int) bool {
+			if !shardCovers(d.ss.Views[s], cps) {
+				return false
+			}
+			covering++
+			return true
+		},
 		func(s int, w *evalEnv) {
 			d.runShardOp(s, w, func(*rdf.EncodedView) {
 				outs[s], tags[s] = pushdownShard(w, cps, d.ss.Pos, max)
@@ -794,7 +854,17 @@ func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
 	if d.env.err != nil {
 		return nil
 	}
-	return mergeTagged(d.env, outs, tags)
+	if sp != nil {
+		sp.SetInt("shards_covering", int64(covering))
+		for s := range outs {
+			if len(outs[s]) > 0 {
+				sp.SetInt("shard_"+strconv.Itoa(s)+"_rows", int64(len(outs[s])))
+			}
+		}
+	}
+	merged := mergeTagged(d.env, outs, tags)
+	sp.SetInt("rows", int64(len(merged)))
+	return merged
 }
 
 // pushdownShard runs the full pattern-at-a-time BGP loop against one
@@ -878,6 +948,12 @@ func mergeTagged(env *evalEnv, outs [][]slotRow, tags [][]int32) []slotRow {
 	env.chargeRowBatch(total, stageGather)
 	if env.err != nil { // over budget: skip the gather allocation
 		return nil
+	}
+	sp := env.span("gather")
+	defer env.endSpan(sp)
+	if sp != nil {
+		sp.SetInt("lists", int64(lists))
+		sp.SetInt("rows", int64(total))
 	}
 	merged := make([]slotRow, 0, total)
 	idx := make([]int, len(outs))

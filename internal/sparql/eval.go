@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -85,6 +86,8 @@ func (env *evalEnv) applyModifiers(q *Query, rows []slotRow) *Results {
 // Both the Binding-materializing path (applyModifiers) and the
 // streaming path ((*Prepared).RunSolutions) share it.
 func (env *evalEnv) modifierPipeline(q *Query, vars []Var, rows []slotRow) []slotRow {
+	sp := env.span("modifiers")
+	sp.SetInt("rows_in", int64(len(rows)))
 	rows = env.projectRows(rows, vars)
 	if q.Distinct {
 		rows = env.distinctRows(rows)
@@ -108,6 +111,8 @@ func (env *evalEnv) modifierPipeline(q *Query, vars []Var, rows []slotRow) []slo
 	if q.Limit >= 0 && q.Limit < len(rows) {
 		rows = rows[:q.Limit]
 	}
+	sp.SetInt("rows", int64(len(rows)))
+	env.endSpan(sp)
 	return rows
 }
 
@@ -380,6 +385,14 @@ type evalEnv struct {
 	// tracker (workerEnv), so one budget spans the whole run. Nil — the
 	// default — costs each charge site one nil check.
 	mem *memBudget
+
+	// Execution tracing (trace.go, internal/obs): trace, when non-nil,
+	// records the run's span tree. The tree is mutated only by the
+	// driver goroutine; workers touch only their busy-time accumulator,
+	// indexed by wid. Nil — the default — costs each span site one nil
+	// check.
+	trace *execTrace
+	wid   int
 }
 
 // cancelCheckEvery is the amortization interval of the cancellation
@@ -617,6 +630,8 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := env.span("filter")
+		sp.SetInt("rows_in", int64(len(rows)))
 		// Filter in place: every evalPattern result is freshly built and
 		// referenced only by its parent, so the surviving rows can be
 		// compacted into the same slice instead of growing a new one.
@@ -626,6 +641,8 @@ func (env *evalEnv) evalPattern(p GraphPattern) ([]slotRow, error) {
 				kept = append(kept, row)
 			}
 		}
+		sp.SetInt("rows", int64(len(kept)))
+		env.endSpan(sp)
 		return kept, nil
 	case Optional:
 		left, err := env.evalPattern(n.Left)
@@ -806,7 +823,9 @@ func allUnbound(row slotRow) bool {
 // joinRows computes the SPARQL join of two solution sequences with an
 // id-space hash join, falling back to the nested loop when the sides
 // share no all-bound slots. Output order is identical to the nested
-// loop's (a-major, b-suborder) on every path.
+// loop's (a-major, b-suborder) on every path. On a traced run the join
+// records a span (input/output cardinalities and the dispatched
+// method); identity shortcuts stay span-free — they do no work.
 func (env *evalEnv) joinRows(a, b []slotRow) []slotRow {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
@@ -819,19 +838,38 @@ func (env *evalEnv) joinRows(a, b []slotRow) []slotRow {
 	if len(b) == 1 && allUnbound(b[0]) {
 		return a
 	}
+	if env.trace == nil {
+		return env.joinRowsImpl(a, b)
+	}
+	sp := env.trace.t.Begin("join")
+	sp.SetInt("left", int64(len(a)))
+	sp.SetInt("right", int64(len(b)))
+	out := env.joinRowsImpl(a, b)
+	sp.SetInt("rows", int64(len(out)))
+	env.trace.t.End(sp)
+	return out
+}
+
+// joinRowsImpl dispatches the join to the hash variants or the nested
+// fallback. Split from joinRows so the traced wrapper costs the
+// disarmed path a single nil check.
+func (env *evalEnv) joinRowsImpl(a, b []slotRow) []slotRow {
 	key := env.sharedKeySlots(a, b)
 	if len(key) == 0 {
+		env.noteStr("method", "nested_loop")
 		return env.nestedJoinRows(a, b)
 	}
 	// The probe side of either hash variant splits into morsels under a
 	// parallel run (parallel.go); the build pass, the fallback nested
 	// loop, and small probes stay serial.
 	if len(b) <= len(a) {
+		env.noteStr("method", "hash_build_right")
 		if env.canParallel(len(a)) {
 			return env.hashJoinBuildRightPar(a, b, key)
 		}
 		return env.hashJoinBuildRight(a, b, key)
 	}
+	env.noteStr("method", "hash_build_left")
 	if env.canParallel(len(b)) {
 		return env.hashJoinBuildLeftPar(a, b, key)
 	}
@@ -962,16 +1000,33 @@ func (env *evalEnv) optionalRows(left, right []slotRow) []slotRow {
 	if len(right) == 0 {
 		return left
 	}
+	if env.trace == nil {
+		return env.optionalRowsImpl(left, right)
+	}
+	sp := env.trace.t.Begin("optional")
+	sp.SetInt("left", int64(len(left)))
+	sp.SetInt("right", int64(len(right)))
+	out := env.optionalRowsImpl(left, right)
+	sp.SetInt("rows", int64(len(out)))
+	env.trace.t.End(sp)
+	return out
+}
+
+// optionalRowsImpl dispatches the left join like joinRowsImpl.
+func (env *evalEnv) optionalRowsImpl(left, right []slotRow) []slotRow {
 	key := env.sharedKeySlots(left, right)
 	if len(key) == 0 {
+		env.noteStr("method", "nested_loop")
 		return env.nestedOptionalRows(left, right)
 	}
 	if len(right) <= len(left) {
+		env.noteStr("method", "hash_build_right")
 		if env.canParallel(len(left)) {
 			return env.hashOptionalBuildRightPar(left, right, key)
 		}
 		return env.hashOptionalBuildRight(left, right, key)
 	}
+	env.noteStr("method", "hash_build_left")
 	if env.canParallel(len(right)) {
 		return env.hashOptionalBuildLeftPar(left, right, key)
 	}
@@ -1194,6 +1249,7 @@ type cElem struct {
 type cPattern struct {
 	s, p, o cElem
 	est     int
+	src     int   // position of the pattern as written (trace/EXPLAIN)
 	slots   []int // distinct variable slots, for join-ordering
 }
 
@@ -1296,6 +1352,14 @@ func (env *evalEnv) evalBGP(b BGP) []slotRow {
 	seq := env.bgpSeq
 	env.bgpSeq++
 	cps := env.planFor(seq, b)
+	bsp := env.span("bgp")
+	// endSpan also closes per-pattern spans left open by the error
+	// returns below; nil span (the disarmed default) is a no-op.
+	defer env.endSpan(bsp)
+	if bsp != nil {
+		bsp.SetInt("patterns", int64(len(cps)))
+		bsp.SetStr("join_order", planOrder(cps))
+	}
 	rows := []slotRow{env.emptyRow()}
 	scratch := env.emptyRow()
 	for i, cp := range cps {
@@ -1304,6 +1368,17 @@ func (env *evalEnv) evalBGP(b BGP) []slotRow {
 			// limitHint is only set when this BGP is the whole WHERE
 			// clause, so its last pattern emits the final row sequence.
 			max = env.limitHint
+		}
+		var psp *obs.Span
+		if env.trace != nil {
+			if i == 0 {
+				psp = env.trace.t.Begin("seed_scan")
+			} else {
+				psp = env.trace.t.Begin("match")
+				psp.SetInt("rows_in", int64(len(rows)))
+			}
+			psp.SetInt("pattern", int64(cp.src))
+			psp.SetInt("est", int64(cp.est))
 		}
 		if i == 0 {
 			rows = env.seedScan(cp, rows[0], scratch, max)
@@ -1323,6 +1398,10 @@ func (env *evalEnv) evalBGP(b BGP) []slotRow {
 		if env.err != nil {
 			return nil
 		}
+		if psp != nil {
+			psp.SetInt("rows", int64(len(rows)))
+			env.trace.t.End(psp)
+		}
 		if len(rows) == 0 {
 			break
 		}
@@ -1340,6 +1419,7 @@ func (env *evalEnv) seedScan(cp cPattern, row, scratch slotRow, max int) []slotR
 	if ps.miss {
 		return nil
 	}
+	env.noteInt("candidates", int64(len(ps.candidates)))
 	if env.canParallel(len(ps.candidates)) && !(max > 0 && max <= morselSize) {
 		return env.seedScanPar(&ps, row, max)
 	}
@@ -1361,6 +1441,7 @@ func (env *evalEnv) planFor(seq int, b BGP) []cPattern {
 	cps := make([]cPattern, len(b.Patterns))
 	for i, tp := range b.Patterns {
 		cps[i] = env.compilePattern(tp)
+		cps[i].src = i
 	}
 	cps = orderPatterns(cps, len(env.vars))
 	if env.prep != nil {

@@ -5,8 +5,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -118,6 +120,10 @@ type runOpts struct {
 	// Memory-budget option (budget.go): > 0 bounds the run's charged
 	// bytes, < 0 arms tracking only, 0 disables accounting.
 	memBudget int64
+
+	// Execution-trace option (trace.go): non-nil arms the run to
+	// record a span tree under the trace's current span.
+	trace *obs.Trace
 }
 
 // RunOption tunes one (*Prepared).Run / RunSolutions call.
@@ -149,9 +155,10 @@ func resolveRunOpts(opts []RunOption) runOpts {
 }
 
 // configureParallel arms the environment for morsel dispatch and, when
-// requested, memory accounting. Width 1 leaves env.par nil: the run
-// takes exactly the serial code paths. No budget leaves env.mem nil:
-// every charge site costs one nil check.
+// requested, memory accounting and execution tracing. Width 1 leaves
+// env.par nil: the run takes exactly the serial code paths. No budget
+// leaves env.mem nil, no trace leaves env.trace nil: every charge and
+// span site costs one nil check.
 func (env *evalEnv) configureParallel(o *runOpts) {
 	if o.parallelism > 1 {
 		env.par = &parRun{n: o.parallelism}
@@ -163,10 +170,20 @@ func (env *evalEnv) configureParallel(o *runOpts) {
 		}
 		env.mem = mb
 	}
+	if o.trace != nil {
+		et := &execTrace{t: o.trace}
+		if o.parallelism > 1 {
+			et.busy = make([]atomic.Int64, o.parallelism)
+		}
+		env.trace = et
+	}
 }
 
 // capture fills the caller's RunStats and FaultStats after the run.
 func (o *runOpts) capture(env *evalEnv) {
+	if env.trace != nil {
+		env.trace.finishRoot(env)
+	}
 	if o.faultStats != nil && env.ftally != nil {
 		t := env.ftally
 		*o.faultStats = FaultStats{
@@ -212,6 +229,10 @@ func (env *evalEnv) workerEnv() *evalEnv {
 
 		fplan:  env.fplan,
 		ftally: env.ftally,
+
+		// Shared for the busy accumulators only — a worker never
+		// touches the span tree (driver-only mutation).
+		trace: env.trace,
 	}
 }
 
@@ -236,6 +257,7 @@ func newWorkerPool(parent *evalEnv, n int) *workerPool {
 	p := &workerPool{tasks: make(chan poolTask)}
 	for i := 0; i < n; i++ {
 		w := parent.workerEnv()
+		w.wid = i
 		go func() {
 			for t := range p.tasks {
 				runTask(w, t)
@@ -261,6 +283,13 @@ const maxTaskAttempts = 3
 // query; the process and the pool's other workers stay up.
 func runTask(w *evalEnv, t poolTask) {
 	defer t.wg.Done()
+	if w.trace != nil {
+		// Per-worker busy time. Registered after wg.Done so it runs
+		// before it (LIFO): the accumulator is complete once the
+		// dispatcher's wg.Wait returns.
+		start := time.Now()
+		defer func() { w.trace.busy[w.wid].Add(int64(time.Since(start))) }()
+	}
 	for attempt := 1; ; attempt++ {
 		err := runTaskAttempt(w, t.fn)
 		if err == nil {
@@ -334,6 +363,13 @@ func (env *evalEnv) runMorsels(total, needed int, produced *atomic.Int64, mk fun
 	wg.Wait()
 	env.par.ops.Add(1)
 	env.par.morsels.Add(int64(dispatched))
+	if env.trace != nil {
+		// The dispatcher runs on the driver under the operation's span
+		// (seed_scan or join), so the morsel accounting lands there.
+		cur := env.trace.t.Current()
+		cur.AddInt("morsels", int64(dispatched))
+		cur.SetInt("width", int64(env.par.n))
+	}
 	// A latched task failure (exhausted panic retries) outranks the
 	// cancellation latch: stop may be raised by either, and ctx.Err()
 	// is nil when the run died of a panic rather than cancellation.
