@@ -17,7 +17,8 @@
 // every registered placement strategy and each workload query runs
 // end-to-end through the distributed executor, so the report pairs the
 // static placement scores (balance, edge cut, star locality) with the
-// measured query latency and the route each query took (p = pushdown,
+// measured query latency (p50/p95/p99 over -repeat runs, so tail
+// behavior is visible) and the route each query took (p = pushdown,
 // s = scatter-gather). Adding -trace runs each query once more under
 // execution tracing and reports where its time went — scan, join,
 // gather (shard fan-out and merge), and result serialization self
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -51,7 +53,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 4, "simulated partitions")
 	executors := flag.Int("executors", 2, "simulated executors")
 	shards := flag.Int("shards", 0, "compare partition strategies end-to-end over N shards instead of assessing engines")
-	repeat := flag.Int("repeat", 3, "runs per query in -shards mode (best time reported)")
+	repeat := flag.Int("repeat", 3, "runs per query in -shards mode (p50/p95/p99 reported)")
 	trace := flag.Bool("trace", false, "in -shards mode, add a per-query span breakdown (scan/join/gather/serialize self times)")
 	flag.Parse()
 
@@ -134,9 +136,12 @@ func main() {
 // runShardBench is the -shards mode: for every registered partition
 // strategy, shard the dataset, score the placement, and run each
 // workload query end-to-end through the distributed executor —
-// latency per strategy, not just load-balance/edge-cut scores. With
-// csvOut the same measurements stream as one CSV row per (strategy,
-// query) pair, ready for spreadsheet or pandas post-processing.
+// latency per strategy, not just load-balance/edge-cut scores. Each
+// query runs repeat times and the report shows the p50/p95/p99 of the
+// sample, so tail behavior (stragglers, hedging) is visible, not just
+// the best case. With csvOut the same measurements stream as one CSV
+// row per (strategy, query) pair, ready for spreadsheet or pandas
+// post-processing.
 func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int, csvOut, traceOn bool) {
 	if repeat < 1 {
 		repeat = 1
@@ -148,13 +153,13 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 	}
 	deduped := rdf.Dedupe(triples)
 	if csvOut {
-		header := "strategy,subject_colocated,balance,edge_cut,star_locality,query,route,shards_touched,shards,best_ms,rows"
+		header := "strategy,subject_colocated,balance,edge_cut,star_locality,query,route,shards_touched,shards,p50_ms,p95_ms,p99_ms,rows"
 		if traceOn {
 			header += ",scan_ms,join_ms,gather_ms,serialize_ms"
 		}
 		fmt.Println(header)
 	} else {
-		fmt.Printf("partition-strategy comparison: %d triples, %d shards, best of %d runs\n\n",
+		fmt.Printf("partition-strategy comparison: %d triples, %d shards, percentiles over %d runs\n\n",
 			len(deduped), nShards, repeat)
 	}
 	for _, name := range partition.Names() {
@@ -179,7 +184,7 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 		for _, nq := range queries {
 			sp := sg.PrepareQuery(nq.Query)
 			var st sparql.ShardStats
-			best := time.Duration(-1)
+			samples := make([]time.Duration, 0, repeat)
 			rows := 0
 			for r := 0; r < repeat; r++ {
 				start := time.Now()
@@ -188,34 +193,35 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 					fmt.Fprintf(os.Stderr, "%s on %s: %v\n", nq.Name, name, err)
 					os.Exit(1)
 				}
-				if d := time.Since(start); best < 0 || d < best {
-					best = d
-				}
+				samples = append(samples, time.Since(start))
 				rows = res.Len()
 			}
+			p50 := percentileMs(samples, 50)
+			p95 := percentileMs(samples, 95)
+			p99 := percentileMs(samples, 99)
 			route := "s"
 			if st.Route == sparql.RoutePushdown {
 				route = "p"
 			}
-			total += best
+			total += time.Duration(p50 * float64(time.Millisecond))
 			var bd breakdown
 			if traceOn {
 				bd = traceQuery(ctx, sp)
 			}
 			if csvOut {
-				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%d",
+				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%.3f,%.3f,%d",
 					name, sg.SubjectColocated(),
 					quality.Balance, quality.EdgeCut, quality.StarLocality,
 					nq.Name, route, st.ShardsTouched, st.Shards,
-					float64(best.Microseconds())/1000, rows)
+					p50, p95, p99, rows)
 				if traceOn {
 					fmt.Printf(",%.3f,%.3f,%.3f,%.3f", bd.scan, bd.join, bd.gather, bd.serialize)
 				}
 				fmt.Println()
 				continue
 			}
-			fmt.Printf("  %-16s %9.2fms  route=%s shards=%d/%d  rows=%d",
-				nq.Name, float64(best.Microseconds())/1000, route,
+			fmt.Printf("  %-16s p50=%8.2fms p95=%8.2fms p99=%8.2fms  route=%s shards=%d/%d  rows=%d",
+				nq.Name, p50, p95, p99, route,
 				st.ShardsTouched, st.Shards, rows)
 			if traceOn {
 				fmt.Printf("  scan=%.2fms join=%.2fms gather=%.2fms serialize=%.2fms",
@@ -224,9 +230,28 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 			fmt.Println()
 		}
 		if !csvOut {
-			fmt.Printf("  %-16s %9.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
+			fmt.Printf("  %-16s p50=%8.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
 		}
 	}
+}
+
+// percentileMs returns the nearest-rank p-th percentile of the
+// samples, in milliseconds. The samples slice is not modified.
+func percentileMs(samples []time.Duration, p int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return float64(sorted[idx-1].Microseconds()) / 1000
 }
 
 // breakdown is one traced query's self-time split, in milliseconds.

@@ -27,6 +27,15 @@
 // demonstration that serving survives a downed replica (watch the
 // /stats faults block).
 //
+// Tail-latency flags: -hedge-delay launches each shard scan on a
+// second replica once the first runs past the delay (negative picks
+// an adaptive per-operation p95 delay), -speculation re-dispatches
+// morsel tasks running far past the run's median task time, and
+// -breaker-trip / -breaker-cooldown tune the replica circuit
+// breakers; -chaos-slow-replica delays one replica index of every
+// shard by -chaos-slow-delay, the live straggler demonstration
+// (watch the hedges counters in /stats and /metrics).
+//
 // The process drains gracefully: on SIGTERM/SIGINT it stops accepting
 // connections, lets in-flight queries finish within the default query
 // deadline, and exits 0.
@@ -86,6 +95,12 @@ func main() {
 	maxQueryBytes := flag.Int64("max-query-bytes", 0, "per-query memory budget in bytes; over-budget queries abort with 413 (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "queries that may wait for a worker before new arrivals are shed (0 = 4x max-concurrent, negative disables shedding)")
 	chaosReplica := flag.Int("chaos-fail-replica", -1, "fail this replica index of every shard (chaos demo; needs -replicas > 1)")
+	chaosSlowReplica := flag.Int("chaos-slow-replica", -1, "slow this replica index of every shard (chaos demo; needs -replicas > 1)")
+	chaosSlowDelay := flag.Duration("chaos-slow-delay", 50*time.Millisecond, "added latency for -chaos-slow-replica")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge shard operations after this delay (>0 fixed, <0 adaptive p95, 0 off; needs -replicas > 1)")
+	speculation := flag.Float64("speculation", 0, "re-dispatch morsel tasks running this many times the median task time (0 disables; e.g. 3 = 3x median)")
+	breakerTrip := flag.Int("breaker-trip", 0, "consecutive replica failures that trip its circuit breaker (0 = default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped replica breaker stays open (0 = default)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof profiling endpoints on this separate address (empty disables)")
 	slowThreshold := flag.Duration("slow-query-threshold", 0, "trace every query and log ones slower than this as JSON lines (0 disables)")
 	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr; needs -slow-query-threshold)")
@@ -97,15 +112,19 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxConcurrent:      *maxConcurrent,
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		PlanCacheSize:      *cacheSize,
-		QueryParallelism:   *queryParallelism,
-		MaxResultRows:      *maxResultRows,
-		MaxQueryBytes:      *maxQueryBytes,
-		MaxQueue:           *maxQueue,
-		SlowQueryThreshold: *slowThreshold,
+		MaxConcurrent:        *maxConcurrent,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		PlanCacheSize:        *cacheSize,
+		QueryParallelism:     *queryParallelism,
+		MaxResultRows:        *maxResultRows,
+		MaxQueryBytes:        *maxQueryBytes,
+		MaxQueue:             *maxQueue,
+		SlowQueryThreshold:   *slowThreshold,
+		HedgeDelay:           *hedgeDelay,
+		SpeculationFactor:    *speculation,
+		BreakerTripThreshold: *breakerTrip,
+		BreakerCooldown:      *breakerCooldown,
 	}
 	if *slowLogPath != "" {
 		if *slowThreshold <= 0 {
@@ -133,6 +152,23 @@ func main() {
 			plan.FailAlways(fault.ReplicaPoint(s, *chaosReplica))
 		}
 		cfg.FaultPlan = plan
+	}
+	if *chaosSlowReplica >= 0 {
+		if *shards <= 0 || *replicas < 2 {
+			fail("-chaos-slow-replica needs -shards > 0 and -replicas > 1 (with a lone replica there is nowhere to hedge)")
+		}
+		if *chaosSlowReplica >= *replicas {
+			fail(fmt.Sprintf("-chaos-slow-replica %d out of range (replicas 0..%d)", *chaosSlowReplica, *replicas-1))
+		}
+		if *chaosSlowDelay <= 0 {
+			fail("-chaos-slow-delay must be > 0")
+		}
+		if cfg.FaultPlan == nil {
+			cfg.FaultPlan = fault.NewPlan(1)
+		}
+		for s := 0; s < *shards; s++ {
+			cfg.FaultPlan.SlowReplica(s, *chaosSlowReplica, *chaosSlowDelay)
+		}
 	}
 
 	var srv *server.Server

@@ -167,6 +167,40 @@
 // fault counters and breaker states, and rdfserve drains in-flight
 // queries gracefully on SIGTERM.
 //
+// # Straggler model
+//
+// Failures are not the only tail risk the surveyed platform defends
+// against: Spark's speculative execution re-runs tasks that merely run
+// slow. The native engine reproduces that straggler defense at the
+// same two granularities as the fault model, under the same
+// contract — recovery actions never change output. Replica selection
+// steers by health: each replica carries an EWMA of its
+// successful-attempt latency and a decayed error rate
+// (sparql.ReplicaHealth), unsampled replicas are warmed round-robin,
+// and among closed breakers the lowest score wins, so stragglers shed
+// traffic without being declared dead. A run armed with
+// sparql.WithHedge races stubborn stragglers instead of waiting them
+// out: a shard op that outlives the hedge delay — fixed, or adaptive
+// from the op class's observed p95 (scatter scans and pushdowns keep
+// separate windows) — launches on the next-best replica, the first
+// success wins, and the loser is stopped through its private
+// cancellation flag; byte-identical replica scans make the race
+// invisible in the output. A run armed with sparql.WithSpeculation
+// re-dispatches morsel tasks still running past k× the run's median
+// completed-task time, and a single atomic claim per morsel decides
+// which copy commits its private buffer — seed scans and build-right
+// probe passes are eligible, while build-left cursor-matrix passes
+// write shared state in place and always run exactly once. Retried
+// and hedged passes each get a bounded slice of the remaining context
+// deadline, so one straggling replica cannot consume the whole budget
+// that later attempts would have used. The chaos suite extends the
+// fault matrix with stragglers: one replica of every shard slowed
+// ~100×, hedging and speculation armed, output pinned byte-identical
+// to a clean serial single-graph run across placement strategies,
+// shard counts, replica counts, and parallelism, raced and
+// seed-swept; hedge and speculation launches/wins surface in
+// sparql.FaultStats, /stats, /metrics, and the slow-query log.
+//
 // # Resource model
 //
 // Spark kills or spills a task that outgrows its executor's memory;

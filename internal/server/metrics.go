@@ -57,6 +57,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.Counter("rdf_replica_attempts_total", "Shard replica execution attempts.", float64(fa.attempts))
 	mw.Counter("rdf_replica_retries_total", "Retried replica attempts.", float64(fa.retries))
 	mw.Counter("rdf_replica_failovers_total", "Failovers to another replica.", float64(fa.failovers))
+	mw.Counter("rdf_hedges_total", "Hedged shard operations launched against a second replica.", float64(fa.hedges))
+	mw.Counter("rdf_hedge_wins_total", "Hedged shard operations where the hedge finished first.", float64(fa.hedgeWins))
+	mw.Counter("rdf_speculations_total", "Speculative morsel re-executions launched.", float64(fa.speculations))
+	mw.Counter("rdf_speculation_wins_total", "Speculative morsel re-executions that finished first.", float64(fa.speculationWins))
 	mw.Counter("rdf_recovered_panics_total", "Panics recovered in the engine and HTTP middleware.",
 		float64(fa.enginePanics+fa.handlerPanics))
 	mw.Counter("rdf_partial_failures_total", "Queries lost to total shard failure.", float64(fa.partialFailures))

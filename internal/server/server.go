@@ -101,6 +101,25 @@ type Config struct {
 	// dataset's triple count; negative disables cost-aware decisions
 	// (only queue depth sheds).
 	CostShedThreshold int64
+	// HedgeDelay arms hedged shard operations on sharded backends with
+	// replicas: a per-shard op that outlives the delay races a second
+	// copy on the next-best replica, first success wins. > 0 is a fixed
+	// delay; < 0 selects the adaptive delay (the observed p95 of the op
+	// class); 0 (default) disables hedging.
+	HedgeDelay time.Duration
+	// SpeculationFactor, when > 0, arms speculative morsel
+	// re-execution: a morsel task still running after this multiple of
+	// the run's median task time is re-dispatched, first completion
+	// wins. Default 0 (disabled).
+	SpeculationFactor float64
+	// BreakerTripThreshold overrides how many consecutive failures trip
+	// a replica's circuit breaker (sharded backends with replicas).
+	// Default (0) keeps the engine default of 3.
+	BreakerTripThreshold int
+	// BreakerCooldown overrides how long an open breaker holds traffic
+	// off a replica before the half-open probe. Default (0) keeps the
+	// engine default of 250ms.
+	BreakerCooldown time.Duration
 	// FaultPlan, when set, is installed on every query's context and
 	// consulted at the engine's fault points (internal/fault) — the
 	// chaos-testing hook behind rdfserve's -chaos-fail-replica flag.
@@ -254,6 +273,14 @@ func New(g *rdf.Graph, cfg Config) *Server {
 func NewSharded(sg *shard.ShardedGraph, cfg Config) *Server {
 	s := newServer(cfg)
 	s.shards = sg
+	if h := sg.Set().Health; h != nil {
+		if s.cfg.BreakerTripThreshold > 0 {
+			h.SetTripThreshold(s.cfg.BreakerTripThreshold)
+		}
+		if s.cfg.BreakerCooldown > 0 {
+			h.SetCooldown(s.cfg.BreakerCooldown)
+		}
+	}
 	s.resolveCostThreshold()
 	return s
 }
@@ -625,6 +652,8 @@ func (s *Server) logSlowQuery(r *http.Request, text string, tr *obs.Trace, info 
 		Route:         info.route,
 		Shards:        info.shards,
 		ShardsTouched: info.touched,
+		Hedges:        info.hedges,
+		Speculations:  info.speculations,
 		DurationMs:    float64(total) / float64(time.Millisecond),
 		TopSpans:      tr.TopSelf(3),
 	})
@@ -633,8 +662,9 @@ func (s *Server) logSlowQuery(r *http.Request, text string, tr *obs.Trace, info 
 // runInfo is the routing report eval hands back for the slow-query
 // log: which route the query took and its shard fan-out.
 type runInfo struct {
-	route           string
-	shards, touched int
+	route                string
+	shards, touched      int
+	hedges, speculations int64
 }
 
 // run evaluates one admitted query at the parallelism admission
@@ -681,7 +711,17 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *o
 	if tr != nil {
 		opts = append(opts, sparql.WithTrace(tr))
 	}
+	if s.cfg.SpeculationFactor > 0 {
+		opts = append(opts, sparql.WithSpeculation(s.cfg.SpeculationFactor))
+	}
 	if s.shards != nil {
+		if d := s.cfg.HedgeDelay; d != 0 {
+			hp := sparql.HedgePolicy{}
+			if d > 0 {
+				hp.Delay = d
+			}
+			opts = append(opts, sparql.WithHedge(hp))
+		}
 		var rs sparql.RunStats
 		var st sparql.ShardStats
 		var fs sparql.FaultStats
@@ -693,7 +733,10 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *o
 		s.m.observeShard(st)
 		s.m.observeFault(fs)
 		s.m.observeBytes(rs.BytesCharged)
-		return sol, runInfo{route: string(st.Route), shards: st.Shards, touched: st.ShardsTouched}, err
+		return sol, runInfo{
+			route: string(st.Route), shards: st.Shards, touched: st.ShardsTouched,
+			hedges: fs.Hedges, speculations: fs.Speculations,
+		}, err
 	}
 	if s.engine == nil {
 		var rs sparql.RunStats
@@ -703,7 +746,7 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *o
 		s.m.observeExec(rs)
 		s.m.observeFault(fs)
 		s.m.observeBytes(rs.BytesCharged)
-		return sol, runInfo{route: "local"}, err
+		return sol, runInfo{route: "local", speculations: fs.Speculations}, err
 	}
 	s.engineMu.Lock()
 	defer s.engineMu.Unlock()
@@ -786,6 +829,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"attempts":         fa.attempts,
 		"retries":          fa.retries,
 		"failovers":        fa.failovers,
+		"hedges":           fa.hedges,
+		"hedge_wins":       fa.hedgeWins,
+		"speculations":     fa.speculations,
+		"speculation_wins": fa.speculationWins,
 		"recovered_panics": fa.enginePanics + fa.handlerPanics,
 		"partial_failures": fa.partialFailures,
 		"oversize_results": fa.oversizeAborts,

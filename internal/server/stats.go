@@ -70,6 +70,13 @@ type metrics struct {
 	partialFailures uint64
 	oversizeAborts  uint64
 
+	// Tail-latency counters (hedged shard ops and speculative morsel
+	// re-execution, sparql.FaultStats): launches and wins of each.
+	hedges          uint64
+	hedgeWins       uint64
+	speculations    uint64
+	speculationWins uint64
+
 	// Resource-governance counters: queries shed by admission control,
 	// queries admitted at degraded parallelism, queries aborted by
 	// their memory budget, cumulative bytes charged against budgets,
@@ -229,7 +236,8 @@ func (m *metrics) resources() resourceSnapshot {
 
 // observeFault folds one query's fault counters into the aggregate.
 func (m *metrics) observeFault(fs sparql.FaultStats) {
-	if fs.Attempts == 0 && fs.Retries == 0 && fs.RecoveredPanics == 0 {
+	if fs.Attempts == 0 && fs.Retries == 0 && fs.RecoveredPanics == 0 &&
+		fs.Hedges == 0 && fs.Speculations == 0 {
 		return
 	}
 	m.mu.Lock()
@@ -237,12 +245,18 @@ func (m *metrics) observeFault(fs sparql.FaultStats) {
 	m.faultRetries += uint64(fs.Retries)
 	m.faultFailovers += uint64(fs.Failovers)
 	m.enginePanics += uint64(fs.RecoveredPanics)
+	m.hedges += uint64(fs.Hedges)
+	m.hedgeWins += uint64(fs.HedgeWins)
+	m.speculations += uint64(fs.Speculations)
+	m.speculationWins += uint64(fs.SpeculationWins)
 	m.mu.Unlock()
 }
 
 // faultSnapshot renders the fault counters for /stats.
 type faultSnapshot struct {
 	attempts, retries, failovers    uint64
+	hedges, hedgeWins               uint64
+	speculations, speculationWins   uint64
 	enginePanics, handlerPanics     uint64
 	partialFailures, oversizeAborts uint64
 }
@@ -254,6 +268,10 @@ func (m *metrics) faults() faultSnapshot {
 		attempts:        m.faultAttempts,
 		retries:         m.faultRetries,
 		failovers:       m.faultFailovers,
+		hedges:          m.hedges,
+		hedgeWins:       m.hedgeWins,
+		speculations:    m.speculations,
+		speculationWins: m.speculationWins,
 		enginePanics:    m.enginePanics,
 		handlerPanics:   m.handlerPanics,
 		partialFailures: m.partialFailures,

@@ -3,8 +3,11 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/workload"
@@ -92,5 +95,62 @@ func BenchmarkShardedLinear(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkShardedTailLatency measures what hedged shard operations
+// buy under a straggler: the same scatter query over 4 shards × 2
+// replicas, with the slow replica index alternating per iteration (a
+// 2ms stall, so health steering keeps getting surprised), once without
+// hedging and once hedged after 200µs. The p50-ms/p99-ms metrics are
+// the point: hedging must pull the tail in.
+func BenchmarkShardedTailLatency(b *testing.B) {
+	triples := workload.GenerateUniversity(workload.MediumUniversity())
+	text := fmt.Sprintf(`SELECT ?st ?prof ?dept WHERE { ?st <%sadvisor> ?prof . ?prof <%sworksFor> ?dept }`,
+		workload.UnivNS, workload.UnivNS)
+	const nShards, reps = 4, 2
+	plans := make([]*fault.Plan, reps)
+	for r := range plans {
+		plans[r] = fault.NewPlan(int64(r + 1))
+		for s := 0; s < nShards; s++ {
+			plans[r].SlowReplica(s, r, 2*time.Millisecond)
+		}
+	}
+	run := func(b *testing.B, opts ...sparql.RunOption) {
+		// A fresh set per sub-benchmark: replica health must not carry
+		// what it learned about the stragglers across variants.
+		sg, err := BuildReplicatedByName(triples, "hash-subject", nShards, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, err := sg.Prepare(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := fault.With(context.Background(), plans[i%reps])
+			start := time.Now()
+			if _, err := sp.Run(ctx, opts...); err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, time.Since(start))
+		}
+		b.StopTimer()
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		pct := func(p int) float64 {
+			idx := (p*len(durs) + 99) / 100
+			if idx < 1 {
+				idx = 1
+			}
+			return float64(durs[idx-1].Microseconds()) / 1000
+		}
+		b.ReportMetric(pct(50), "p50-ms")
+		b.ReportMetric(pct(99), "p99-ms")
+	}
+	b.Run("unhedged", func(b *testing.B) { run(b) })
+	b.Run("hedged", func(b *testing.B) {
+		run(b, sparql.WithHedge(sparql.HedgePolicy{Delay: 200 * time.Microsecond}))
 	})
 }

@@ -130,6 +130,146 @@ func TestChaosTransientSeeds(t *testing.T) {
 	}
 }
 
+// chaosSeed returns the seed for seeded chaos plans, overridable via
+// CHAOS_SEED so CI can sweep schedules.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(1)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	return seed
+}
+
+// TestChaosTailDeterminism is the straggler acceptance suite: with one
+// replica of every shard slowed ~100× (a 2ms stall against µs-scale
+// scans), hedged shard operations and speculative morsel re-execution
+// armed, every workload query must return byte-identical results to a
+// clean serial single-graph run — across placement strategies, shard
+// counts, replica counts, and parallelism. The slowed replica index
+// rotates per query, so health steering keeps getting surprised and
+// every cell records hedges.
+func TestChaosTailDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 16-cell matrix with injected 2ms stragglers")
+	}
+	seed := chaosSeed(t)
+	ctx := context.Background()
+	ds := datasets()[0]
+	g := rdf.NewGraph(ds.triples)
+	want := make(map[string]*sparql.Results, len(ds.queries))
+	for _, nq := range ds.queries {
+		prep, err := sparql.Prepare(nq.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := prep.Run(ctx, g, sparql.WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[nq.Name] = res
+	}
+	hedge := sparql.HedgePolicy{Delay: 200 * time.Microsecond}
+	for _, strat := range []string{"hash-subject", "vertical"} {
+		for _, nShards := range []int{3, 8} {
+			for _, reps := range []int{2, 3} {
+				for _, par := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%s/shards=%d/replicas=%d/par=%d", strat, nShards, reps, par), func(t *testing.T) {
+						sg, err := BuildReplicatedByName(ds.triples, strat, nShards, reps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var hedges, wins int64
+						for qi, nq := range ds.queries {
+							slow := qi % reps
+							plan := fault.NewPlan(seed + int64(qi))
+							for s := 0; s < nShards; s++ {
+								plan.SlowReplica(s, slow, 2*time.Millisecond)
+							}
+							sp, err := sg.Prepare(nq.Text)
+							if err != nil {
+								t.Fatal(err)
+							}
+							var fs sparql.FaultStats
+							got, err := sp.Run(fault.With(ctx, plan),
+								sparql.WithParallelism(par),
+								sparql.WithHedge(hedge),
+								sparql.WithSpeculation(3),
+								sparql.WithFaultStats(&fs))
+							if err != nil {
+								t.Fatalf("%s (replica %d slow): %v", nq.Name, slow, err)
+							}
+							mustEqualResults(t, want[nq.Name], got)
+							hedges += fs.Hedges
+							wins += fs.HedgeWins
+						}
+						if hedges == 0 {
+							t.Fatal("no hedges recorded with a straggler replica in every shard")
+						}
+						_ = wins // the slow primary can still win a race; counted, not required
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChaosSpeculationDeterminism pins speculative morsel re-execution:
+// with seeded jittered delays injected into morsel tasks (stragglers)
+// and speculation armed, a large parallel join must return
+// byte-identical results to a clean serial run, and the straggler runs
+// must actually exercise the speculation path.
+func TestChaosSpeculationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an 8192-row join with injected morsel stragglers")
+	}
+	seed := chaosSeed(t)
+	ctx := context.Background()
+	n := 8192
+	ts := make([]rdf.Triple, 0, 2*n)
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/a%d", i))
+		ts = append(ts,
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/p"), O: rdf.NewLiteral(fmt.Sprintf("x%d", i))},
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/q"), O: rdf.NewLiteral(fmt.Sprintf("y%d", i))},
+		)
+	}
+	g := rdf.NewGraph(ts)
+	prep, err := sparql.Prepare(`SELECT * WHERE { ?a <http://ex/p> ?x . ?a <http://ex/q> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.Run(ctx, g, sparql.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs, wins int64
+	for i := int64(0); i < 4; i++ {
+		plan := fault.NewPlan(seed+i).DelayRate(fault.PointMorsel, 0.4, 2*time.Millisecond)
+		var fs sparql.FaultStats
+		got, err := prep.Run(fault.With(ctx, plan), g,
+			sparql.WithParallelism(4),
+			sparql.WithSpeculation(2),
+			sparql.WithFaultStats(&fs))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed+i, err)
+		}
+		mustEqualResults(t, want, got)
+		specs += fs.Speculations
+		wins += fs.SpeculationWins
+	}
+	if specs == 0 {
+		t.Fatal("no speculative re-executions across four seeded straggler runs")
+	}
+	if wins > specs {
+		t.Fatalf("speculation wins %d > launches %d", wins, specs)
+	}
+}
+
 // TestAllReplicasDownPartialFailure pins the only give-up condition:
 // when every replica of a needed shard is down, the query fails with a
 // typed PartialFailureError naming exactly the lost shards — not a
@@ -209,14 +349,81 @@ func TestScatterCancelNoGoroutineLeak(t *testing.T) {
 	}
 	// Workers unwind asynchronously after Run returns; poll instead of
 	// asserting an instant count.
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines polls until the goroutine count returns to near the
+// baseline, failing after three seconds — shared by the leak tests,
+// since losers of hedge and speculation races unwind asynchronously.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
 	deadline := time.Now().Add(3 * time.Second)
 	for {
 		if g := runtime.NumGoroutine(); g <= before+3 {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("goroutines: %d before cancel, %d three seconds after", before, runtime.NumGoroutine())
+			t.Fatalf("goroutines: %d baseline, %d three seconds later", before, runtime.NumGoroutine())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestChaosHedgeNoGoroutineLeak pins hedge-loser hygiene: after runs
+// where every shard op races a slow primary against a hedge, the
+// losing attempts must unwind on their own — no goroutines left behind
+// once their injected stalls elapse.
+func TestChaosHedgeNoGoroutineLeak(t *testing.T) {
+	ds := datasets()[0]
+	sg, err := BuildReplicatedByName(ds.triples, "hash-subject", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(1)
+	for s := 0; s < 4; s++ {
+		plan.SlowReplica(s, 0, 20*time.Millisecond)
+	}
+	before := runtime.NumGoroutine()
+	hedge := sparql.HedgePolicy{Delay: 100 * time.Microsecond}
+	for _, nq := range ds.queries {
+		sp, err := sg.Prepare(nq.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sp.Run(fault.With(context.Background(), plan),
+			sparql.WithParallelism(4), sparql.WithHedge(hedge)); err != nil {
+			t.Fatalf("%s: %v", nq.Name, err)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestChaosSpeculationNoGoroutineLeak pins speculation-loser hygiene:
+// a large parallel join with heavy injected morsel stragglers and
+// speculation armed must leave no goroutines behind after the run.
+func TestChaosSpeculationNoGoroutineLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 4096-row join with injected morsel stragglers")
+	}
+	n := 4096
+	ts := make([]rdf.Triple, 0, 2*n)
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/a%d", i))
+		ts = append(ts,
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/p"), O: rdf.NewLiteral(fmt.Sprintf("x%d", i))},
+			rdf.Triple{S: s, P: rdf.NewIRI("http://ex/q"), O: rdf.NewLiteral(fmt.Sprintf("y%d", i))},
+		)
+	}
+	g := rdf.NewGraph(ts)
+	prep, err := sparql.Prepare(`SELECT * WHERE { ?a <http://ex/p> ?x . ?a <http://ex/q> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	plan := fault.NewPlan(1).DelayRate(fault.PointMorsel, 0.5, 5*time.Millisecond)
+	if _, err := prep.Run(fault.With(context.Background(), plan), g,
+		sparql.WithParallelism(4), sparql.WithSpeculation(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, before)
 }

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -254,6 +255,9 @@ type distEnv struct {
 	// outside chaos runs) and the shard-op retry policy.
 	plan  *fault.Plan
 	retry RetryPolicy
+
+	// Tail-latency defense (health.go): non-nil arms hedged shard ops.
+	hedge *HedgePolicy
 }
 
 // newDistEnv builds the driver environment of one sharded run. The
@@ -285,6 +289,7 @@ func (p *Prepared) newDistEnv(ctx context.Context, ss *ShardSet, ro *runOpts) *d
 		touched: make([]bool, len(ss.Views)),
 		plan:    env.fplan,
 		retry:   ro.retry.withDefaults(),
+		hedge:   ro.hedge,
 	}
 	d.route = p.shardRoute(ss, ro.forceScatter)
 	env.bgp = d.evalBGP
@@ -568,11 +573,12 @@ func (d *distEnv) replicaViews(s int) []*rdf.EncodedView {
 }
 
 // pickReplica selects the next replica for an op on shard s, through
-// the breakers when the set carries health state and in index order
-// otherwise. -1 means every replica was already tried this pass.
+// the breakers and straggler scores when the set carries health state
+// and in index order otherwise. -1 means every replica was already
+// tried this pass.
 func pickReplica(h *ReplicaHealth, s int, tried []bool) int {
 	if h != nil {
-		return h.pick(s, tried, time.Now())
+		return h.pick(s, tried)
 	}
 	for r, t := range tried {
 		if !t {
@@ -582,32 +588,112 @@ func pickReplica(h *ReplicaHealth, s int, tried []bool) int {
 	return -1
 }
 
+// shardOp is one per-shard operation body — a pattern scan or a
+// pushdown BGP — run against a worker environment whose view is
+// already pointed at the serving replica. Returning the output buffers
+// (instead of writing shared state) is what lets hedged attempts race:
+// racing copies compute into private buffers, and only the winning
+// attempt's return value is committed by runShardOp's caller.
+type shardOp func(w *evalEnv) ([]slotRow, []int32)
+
+// numTried counts the replicas already failed this pass.
+func numTried(tried []bool) int {
+	n := 0
+	for _, t := range tried {
+		if t {
+			n++
+		}
+	}
+	return n
+}
+
+// minAttemptSlice floors the per-attempt deadline slice.
+const minAttemptSlice = time.Millisecond
+
+// attemptSlice bounds one replica attempt's share of the remaining
+// context deadline: the remainder divided by the attempts the retry
+// budget still allows, floored at minAttemptSlice — so one hung
+// replica cannot consume the whole budget before failover is even
+// attempted. 0 disables slicing: no deadline, or this is the last
+// possible attempt (which deserves the full remainder).
+func (d *distEnv) attemptSlice(attemptsLeft int) time.Duration {
+	ctx := d.env.ctx
+	if ctx == nil || attemptsLeft <= 1 {
+		return 0
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		return 0 // already expired; the attempt fails fast on its own
+	}
+	slice := remaining / time.Duration(attemptsLeft)
+	if slice < minAttemptSlice {
+		slice = minAttemptSlice
+	}
+	return slice
+}
+
+// fatalAttemptErr reports whether an attempt error is a query-level
+// verdict, never retried on another replica: cancellation, budget
+// exhaustion (retrying would charge the same bytes against the same
+// shared budget), or the run's own deadline having expired. A
+// DeadlineExceeded from a sliced attempt whose parent deadline is
+// still live is a straggler verdict, not a query one — it fails over.
+func (d *distEnv) fatalAttemptErr(err error) bool {
+	var be *BudgetError
+	if errors.As(err, &be) || errors.Is(err, context.Canceled) {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		ctx := d.env.ctx
+		return ctx == nil || ctx.Err() != nil
+	}
+	return false
+}
+
 // runShardOp executes one per-shard operation (a pattern scan or a
-// pushdown BGP) fault-tolerantly: the op runs against a replica of
-// shard s chosen by the circuit breakers, with injected or returned
-// failures — and recovered panics — failing over immediately to the
-// next replica; full passes over the replica set are separated by
-// capped exponential backoff charged against the context's remaining
-// deadline. The op gives up, latching a PartialFailureError naming the
-// shard into the worker's error, only after every replica failed in
-// retry.Cycles consecutive passes. Cancellation is never retried.
+// pushdown BGP) fault-tolerantly and returns its output: the op runs
+// against a replica of shard s chosen by the circuit breakers and
+// straggler scores, with injected or returned failures — and recovered
+// panics — failing over immediately to the next replica; full passes
+// over the replica set are separated by capped exponential backoff
+// charged against the context's remaining deadline, and each attempt
+// is granted a bounded slice of that deadline (attemptSlice). With a
+// hedge policy armed (WithHedge) and more than one replica, an attempt
+// that outlives the hedge delay races a second copy on the next-best
+// replica — first success wins, the loser is cancelled through its
+// taskStop claim. The op gives up, latching a PartialFailureError
+// naming the shard into the worker's error, only after every replica
+// failed in retry.Cycles consecutive passes. Cancellation is never
+// retried.
 //
-// Failover is invisible in results because every replica of a shard
-// yields byte-identical scans (ShardSet.Replicas), and a failed
-// attempt's partial output is fully overwritten by the next attempt
-// (ops write only their own output slots).
-func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) {
+// Failover and hedging are invisible in results because every replica
+// of a shard yields byte-identical scans (ShardSet.Replicas) and
+// exactly one attempt's returned buffers are committed.
+func (d *distEnv) runShardOp(s, class int, w *evalEnv, op shardOp) ([]slotRow, []int32) {
 	views := d.replicaViews(s)
 	if d.plan == nil && len(views) == 1 {
 		// Nothing to inject and nothing to fail over to — but panics
 		// are still isolated into the error latch: a crashing scan must
-		// kill the query, not the process serving it.
-		if err := d.attemptShardOp(w, views[0], s, -1, op); err != nil {
+		// kill the query, not the process serving it. This is the
+		// disarmed fast path; it allocates nothing beyond the op.
+		rows, tags, err := d.attemptShardOp(w, views[0], s, -1, op)
+		if err != nil {
 			w.err = err
+			return nil, nil
 		}
-		return
+		return rows, tags
 	}
 	h := d.ss.Health
+	hedgeWait := time.Duration(-1) // < 0: hedging off
+	if d.hedge != nil && len(views) > 1 {
+		if hedgeWait = d.hedge.Delay; hedgeWait <= 0 {
+			hedgeWait = h.hedgeAfter(class)
+		}
+	}
 	tried := make([]bool, len(views))
 	lastFailed := -1
 	for cycle := 0; ; {
@@ -617,14 +703,22 @@ func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) 
 			cycle++
 			if cycle >= d.retry.Cycles {
 				w.err = &PartialFailureError{Shards: []int{s}}
-				return
+				return nil, nil
 			}
 			if err := d.backoff(cycle); err != nil {
 				w.err = err
-				return
+				return nil, nil
 			}
 			for i := range tried {
 				tried[i] = false
+			}
+			continue
+		}
+		attemptsLeft := (d.retry.Cycles-cycle)*len(views) - numTried(tried)
+		if hedgeWait >= 0 {
+			rows, tags, done := d.racedAttempt(w, views, s, r, class, attemptsLeft, tried, &lastFailed, hedgeWait, op)
+			if done {
+				return rows, tags
 			}
 			continue
 		}
@@ -632,21 +726,19 @@ func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) 
 		if lastFailed >= 0 && r != lastFailed {
 			w.ftally.failovers.Add(1)
 		}
-		err := d.attemptShardOp(w, views[r], s, r, op)
+		start := time.Now()
+		rows, tags, err := d.attemptSliced(w, views[r], s, r, attemptsLeft, op)
 		if err == nil {
 			if h != nil {
-				h.ok(s, r)
+				dur := time.Since(start)
+				h.ok(s, r, dur)
+				h.noteOp(class, dur)
 			}
-			return
+			return rows, tags
 		}
-		var be *BudgetError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.As(err, &be) {
-			// Cancellation and budget exhaustion are query-level verdicts,
-			// not replica failures: retrying on another replica would
-			// charge the same bytes against the same shared budget (and
-			// burn the retry cycles a real fault might need).
+		if d.fatalAttemptErr(err) {
 			w.err = err
-			return
+			return nil, nil
 		}
 		if h != nil {
 			h.fail(s, r)
@@ -657,31 +749,157 @@ func (d *distEnv) runShardOp(s int, w *evalEnv, op func(view *rdf.EncodedView)) 
 	}
 }
 
+// attemptSliced runs one replica attempt under its deadline slice.
+// Unsliced attempts (no deadline, or the final attempt) run directly
+// in w, exactly as before slicing existed; sliced ones run in a
+// derived environment carrying the sliced context and no parRun — so a
+// slice expiring mid-scan stops only this attempt instead of raising
+// the run-wide stop latch.
+func (d *distEnv) attemptSliced(w *evalEnv, view *rdf.EncodedView, s, r, attemptsLeft int, op shardOp) ([]slotRow, []int32, error) {
+	slice := d.attemptSlice(attemptsLeft)
+	if slice <= 0 {
+		return d.attemptShardOp(w, view, s, r, op)
+	}
+	actx, cancel := context.WithTimeout(d.env.ctx, slice)
+	defer cancel()
+	ae := w.workerEnv()
+	ae.ctx = actx
+	ae.par = nil
+	return d.attemptShardOp(ae, view, s, r, op)
+}
+
+// racedAttempt runs one hedged pass of a shard op: the primary attempt
+// launches immediately, and if the hedge delay elapses first, a second
+// copy launches on the next-best replica not already racing or failed.
+// The first success wins and is returned (done=true); the loser is
+// cancelled through its taskStop claim and drains into the buffered
+// channel without being read. A fatal error also ends the op
+// (done=true, with w.err latched). When every racing attempt fails
+// non-fatally the pass reports done=false and the caller's retry loop
+// picks the next replica.
+func (d *distEnv) racedAttempt(w *evalEnv, views []*rdf.EncodedView, s, primary, class, attemptsLeft int, tried []bool, lastFailed *int, hedgeWait time.Duration, op shardOp) ([]slotRow, []int32, bool) {
+	h := d.ss.Health
+	type attemptRes struct {
+		rows []slotRow
+		tags []int32
+		err  error
+		r    int
+		dur  time.Duration
+	}
+	resCh := make(chan attemptRes, 2) // buffered: a loser's send never blocks
+	var stops []*atomic.Bool
+	launch := func(r int) {
+		w.ftally.attempts.Add(1)
+		if *lastFailed >= 0 && r != *lastFailed {
+			w.ftally.failovers.Add(1)
+		}
+		stop := &atomic.Bool{}
+		stops = append(stops, stop)
+		ae := w.workerEnv()
+		ae.par = nil
+		ae.taskStop = stop
+		var cancel context.CancelFunc
+		if slice := d.attemptSlice(attemptsLeft); slice > 0 {
+			ae.ctx, cancel = context.WithTimeout(d.env.ctx, slice)
+		}
+		go func() {
+			if cancel != nil {
+				defer cancel()
+			}
+			start := time.Now()
+			rows, tags, err := d.attemptShardOp(ae, views[r], s, r, op)
+			resCh <- attemptRes{rows: rows, tags: tags, err: err, r: r, dur: time.Since(start)}
+		}()
+	}
+	racing := make([]bool, len(views))
+	racing[primary] = true
+	launch(primary)
+	timer := time.NewTimer(hedgeWait)
+	defer timer.Stop()
+	inFlight, hedged := 1, false
+	for {
+		select {
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			avoid := make([]bool, len(views))
+			for i := range avoid {
+				avoid[i] = tried[i] || racing[i]
+			}
+			if r2 := pickReplica(h, s, avoid); r2 >= 0 {
+				racing[r2] = true
+				w.ftally.hedges.Add(1)
+				launch(r2)
+				inFlight++
+			}
+		case res := <-resCh:
+			inFlight--
+			if res.err == nil {
+				if h != nil {
+					h.ok(s, res.r, res.dur)
+					h.noteOp(class, res.dur)
+				}
+				if res.r != primary {
+					w.ftally.hedgeWins.Add(1)
+				}
+				for _, st := range stops {
+					st.Store(true)
+				}
+				return res.rows, res.tags, true
+			}
+			if d.fatalAttemptErr(res.err) {
+				w.err = res.err
+				for _, st := range stops {
+					st.Store(true)
+				}
+				return nil, nil, true
+			}
+			if h != nil {
+				h.fail(s, res.r)
+			}
+			w.ftally.retries.Add(1)
+			tried[res.r] = true
+			*lastFailed = res.r
+			if inFlight > 0 {
+				continue // the other copy may still win this pass
+			}
+			return nil, nil, false
+		}
+	}
+}
+
 // attemptShardOp runs op once against one replica's view, converting
 // injected faults (the scatter and replica points) and panics into
 // returned errors. A latched worker error (cancellation observed
-// mid-scan) surfaces as the attempt's error.
-func (d *distEnv) attemptShardOp(w *evalEnv, view *rdf.EncodedView, s, replica int, op func(view *rdf.EncodedView)) (err error) {
+// mid-scan) surfaces as the attempt's error; successful attempts
+// return the op's private output buffers.
+func (d *distEnv) attemptShardOp(w *evalEnv, view *rdf.EncodedView, s, replica int, op shardOp) (rows []slotRow, tags []int32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if w.ftally != nil {
 				w.ftally.panics.Add(1)
 			}
+			rows, tags = nil, nil
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	if d.plan != nil && replica >= 0 {
 		if e := d.plan.Hit(fault.PointScatter); e != nil {
-			return e
+			return nil, nil, e
 		}
 		if e := d.plan.Hit(fault.ReplicaPoint(s, replica)); e != nil {
-			return e
+			return nil, nil, e
 		}
 	}
 	w.err = nil
 	w.view = view
-	op(view)
-	return w.err
+	rows, tags = op(w)
+	if w.err != nil {
+		return nil, nil, w.err
+	}
+	return rows, tags, nil
 }
 
 // backoff sleeps the capped exponential delay before retry pass
@@ -743,8 +961,8 @@ func (d *distEnv) scatterPattern(cp cPattern, max int) []slotRow {
 			return true
 		},
 		func(s int, w *evalEnv) {
-			d.runShardOp(s, w, func(*rdf.EncodedView) {
-				outs[s], tags[s] = scanShard(w, cp, d.ss.Pos, max)
+			outs[s], tags[s] = d.runShardOp(s, opClassScan, w, func(w *evalEnv) ([]slotRow, []int32) {
+				return scanShard(w, cp, d.ss.Pos, max)
 			})
 		})
 	if d.env.err != nil {
@@ -847,8 +1065,8 @@ func (d *distEnv) pushdownBGP(cps []cPattern, max int) []slotRow {
 			return true
 		},
 		func(s int, w *evalEnv) {
-			d.runShardOp(s, w, func(*rdf.EncodedView) {
-				outs[s], tags[s] = pushdownShard(w, cps, d.ss.Pos, max)
+			outs[s], tags[s] = d.runShardOp(s, opClassPushdown, w, func(w *evalEnv) ([]slotRow, []int32) {
+				return pushdownShard(w, cps, d.ss.Pos, max)
 			})
 		})
 	if d.env.err != nil {

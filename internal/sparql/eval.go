@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -393,6 +394,14 @@ type evalEnv struct {
 	// check.
 	trace *execTrace
 	wid   int
+
+	// taskStop, when non-nil, is the first-completion-wins claim of the
+	// racing copies of this environment's current task — hedged shard
+	// attempts (dist.go) and speculative morsel copies (parallel.go).
+	// Once another copy commits, interrupted() reports true WITHOUT
+	// latching an error, so the losing copy quietly abandons its
+	// private work. Nil everywhere outside a race.
+	taskStop *atomic.Bool
 }
 
 // cancelCheckEvery is the amortization interval of the cancellation
@@ -412,10 +421,19 @@ func (env *evalEnv) interrupted() bool {
 	if env.err != nil {
 		return true
 	}
-	if env.ctx == nil {
+	if env.ctx == nil && env.taskStop == nil {
 		return false
 	}
 	if env.tick++; env.tick&(cancelCheckEvery-1) != 0 {
+		return false
+	}
+	if env.taskStop != nil && env.taskStop.Load() {
+		// This copy of the task lost its race (hedge or speculation):
+		// stop computing, but latch no error — the winner's result is
+		// already committed and the run is healthy.
+		return true
+	}
+	if env.ctx == nil {
 		return false
 	}
 	if env.par != nil && env.par.stop.Load() {

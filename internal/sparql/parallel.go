@@ -3,6 +3,7 @@ package sparql
 import (
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,7 @@ type parRun struct {
 	stop    atomic.Bool // latched: some environment observed ctx.Done()
 	ops     atomic.Int64
 	morsels atomic.Int64
+	specK   float64 // > 0: speculative re-execution straggler multiple
 
 	// Failure latch: the first task whose panic retries are exhausted
 	// records its error here and raises stop, cancelling the run — the
@@ -117,6 +119,11 @@ type runOpts struct {
 	faultStats *FaultStats
 	retry      RetryPolicy
 
+	// Tail-latency options (health.go): hedged shard operations and
+	// the speculative-re-execution straggler multiple (0 = off).
+	hedge      *HedgePolicy
+	specFactor float64
+
 	// Memory-budget option (budget.go): > 0 bounds the run's charged
 	// bytes, < 0 arms tracking only, 0 disables accounting.
 	memBudget int64
@@ -161,7 +168,7 @@ func resolveRunOpts(opts []RunOption) runOpts {
 // span site costs one nil check.
 func (env *evalEnv) configureParallel(o *runOpts) {
 	if o.parallelism > 1 {
-		env.par = &parRun{n: o.parallelism}
+		env.par = &parRun{n: o.parallelism, specK: o.specFactor}
 	}
 	if o.memBudget != 0 {
 		mb := &memBudget{}
@@ -191,6 +198,10 @@ func (o *runOpts) capture(env *evalEnv) {
 			Retries:         t.retries.Load(),
 			Failovers:       t.failovers.Load(),
 			RecoveredPanics: t.panics.Load(),
+			Hedges:          t.hedges.Load(),
+			HedgeWins:       t.hedgeWins.Load(),
+			Speculations:    t.specs.Load(),
+			SpeculationWins: t.specWins.Load(),
 		}
 	}
 	if o.stats == nil {
@@ -237,10 +248,13 @@ func (env *evalEnv) workerEnv() *evalEnv {
 }
 
 // poolTask is one morsel handed to the pool: the work and the
-// operation's completion group.
+// operation's completion group. A direct task manages its own retries
+// and completion (speculative execution, runMorselsSpec) — the pool
+// only lends it a worker environment.
 type poolTask struct {
-	fn func(w *evalEnv)
-	wg *sync.WaitGroup
+	fn     func(w *evalEnv)
+	wg     *sync.WaitGroup
+	direct bool
 }
 
 // workerPool is the per-Run pool: n goroutines, each bound to one
@@ -282,13 +296,19 @@ const maxTaskAttempts = 3
 // failure latches into the run (parRun.latchFailure), cancelling the
 // query; the process and the pool's other workers stay up.
 func runTask(w *evalEnv, t poolTask) {
-	defer t.wg.Done()
+	if t.wg != nil {
+		defer t.wg.Done()
+	}
 	if w.trace != nil {
 		// Per-worker busy time. Registered after wg.Done so it runs
 		// before it (LIFO): the accumulator is complete once the
 		// dispatcher's wg.Wait returns.
 		start := time.Now()
 		defer func() { w.trace.busy[w.wid].Add(int64(time.Since(start))) }()
+	}
+	if t.direct {
+		t.fn(w)
+		return
 	}
 	for attempt := 1; ; attempt++ {
 		err := runTaskAttempt(w, t.fn)
@@ -385,6 +405,250 @@ func (env *evalEnv) runMorsels(total, needed int, produced *atomic.Int64, mk fun
 	return dispatched
 }
 
+// runMorselsOut dispatches morsels whose tasks each produce one
+// private output buffer: compute(m, w) returns morsel m's rows, and
+// the committed buffer lands in outs[m] (with len(out) added to the
+// shared produced counter when non-nil). This is the commit-side
+// variant of runMorsels that speculation needs: because the buffer is
+// returned rather than written in place, two racing copies of the same
+// morsel can run and exactly one result commits. Without speculation
+// armed it delegates to runMorsels with the commit inlined — same
+// dispatch, same cost.
+func (env *evalEnv) runMorselsOut(total, needed int, produced *atomic.Int64, outs [][]slotRow, compute func(m int, w *evalEnv) []slotRow) int {
+	if env.par.specK > 0 {
+		return env.runMorselsSpec(total, needed, produced, outs, compute)
+	}
+	return env.runMorsels(total, needed, produced, func(m int) func(w *evalEnv) {
+		return func(w *evalEnv) {
+			out := compute(m, w)
+			if w.err != nil {
+				return
+			}
+			outs[m] = out
+			if produced != nil {
+				produced.Add(int64(len(out)))
+			}
+		}
+	})
+}
+
+// Speculative morsel re-execution — the engine-side reproduction of
+// Spark's speculative task execution (spark.speculation): a watchdog
+// re-dispatches tasks still running after specK× the run's median
+// completed-task time, and the first copy to finish commits. The
+// claim protocol that keeps output byte-identical:
+//
+//   - Each morsel's copies compute into private buffers; a single
+//     atomic claim (specTask.claimed) decides which copy commits
+//     outs[m]. Tasks are pure functions of immutable run state, so
+//     both copies compute identical rows — the claim only picks whose
+//     allocation survives.
+//   - The claim doubles as the loser's stop flag: evalEnv.taskStop
+//     points at it, so a straggling loser abandons its morsel at the
+//     next amortized poll without latching any error.
+//   - The operation's wait group counts claims, not task exits: each
+//     dispatched morsel resolves exactly once (commit, failure latch,
+//     or dying-run release).
+const (
+	// specMinSamples is how many completed tasks the watchdog needs
+	// before it trusts the median.
+	specMinSamples = 3
+	// specMinThreshold floors the straggler threshold: µs-scale tasks
+	// are never worth re-dispatching.
+	specMinThreshold = 100 * time.Microsecond
+	// specWatchdogTick is the watchdog's poll interval.
+	specWatchdogTick = 500 * time.Microsecond
+)
+
+// specTask is the per-morsel race state.
+type specTask struct {
+	claimed atomic.Bool  // first-completion-wins claim + loser stop flag
+	started atomic.Int64 // first copy's start time (unix nanos); 0 = queued
+	specd   atomic.Bool  // a speculative copy was launched
+}
+
+func (env *evalEnv) runMorselsSpec(total, needed int, produced *atomic.Int64, outs [][]slotRow, compute func(m int, w *evalEnv) []slotRow) int {
+	if env.pool == nil {
+		env.pool = newWorkerPool(env, env.par.n)
+	}
+	states := make([]specTask, total)
+	var wg sync.WaitGroup // one Done per dispatched morsel, at claim resolution
+	var durMu sync.Mutex
+	var durs []int64 // committed-copy durations, for the straggler median
+
+	// release resolves a morsel's claim without committing (dying run,
+	// exhausted failure): the first resolver still fires the wait group.
+	release := func(st *specTask) bool {
+		if st.claimed.CompareAndSwap(false, true) {
+			wg.Done()
+			return true
+		}
+		return false
+	}
+
+	// run executes one copy of morsel m and resolves its claim: the
+	// first copy to finish commits its private buffer, later copies
+	// discard theirs.
+	run := func(m int, st *specTask, w *evalEnv, spec bool) {
+		start := time.Now()
+		st.started.CompareAndSwap(0, start.UnixNano())
+		w.taskStop = &st.claimed
+		defer func() { w.taskStop = nil }()
+		out := compute(m, w)
+		if w.err != nil {
+			release(st)
+			return
+		}
+		if !st.claimed.CompareAndSwap(false, true) {
+			return // lost the race; the winner already committed
+		}
+		outs[m] = out
+		if produced != nil {
+			produced.Add(int64(len(out)))
+		}
+		if spec && w.ftally != nil {
+			w.ftally.specWins.Add(1)
+		}
+		durMu.Lock()
+		durs = append(durs, int64(time.Since(start)))
+		durMu.Unlock()
+		wg.Done()
+	}
+
+	// original builds morsel m's pool task: runTask's retry loop,
+	// inlined so an exhausted failure only kills the run if the morsel
+	// was not already rescued by its speculative copy.
+	original := func(m int, st *specTask) func(w *evalEnv) {
+		return func(w *evalEnv) {
+			// Stamp the start before the first attempt, not inside run():
+			// a task stalled ahead of its compute (an injected fault
+			// delay, a descheduled worker) is already straggling, and the
+			// watchdog must see it running.
+			st.started.CompareAndSwap(0, time.Now().UnixNano())
+			for attempt := 1; ; attempt++ {
+				err := runTaskAttempt(w, func(w *evalEnv) { run(m, st, w, false) })
+				if err == nil {
+					return
+				}
+				if _, ok := err.(*PanicError); ok && w.ftally != nil {
+					w.ftally.panics.Add(1)
+				}
+				if w.err != nil {
+					release(st)
+					return
+				}
+				if attempt >= maxTaskAttempts {
+					if release(st) {
+						w.par.latchFailure(err)
+					}
+					return
+				}
+				if st.claimed.Load() {
+					return // rescued while we were failing; nothing to retry for
+				}
+				if w.ftally != nil {
+					w.ftally.retries.Add(1)
+				}
+			}
+		}
+	}
+
+	// The watchdog: every tick, compute the straggler threshold from
+	// the committed-task median and launch one speculative copy (on a
+	// fresh goroutine with a private environment) for each unclaimed
+	// task over it.
+	watchStop := make(chan struct{})
+	var aux sync.WaitGroup // the watchdog and every speculative copy
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		tick := time.NewTicker(specWatchdogTick)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-tick.C:
+			}
+			durMu.Lock()
+			var median int64
+			if len(durs) >= specMinSamples {
+				sorted := append([]int64(nil), durs...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				median = sorted[len(sorted)/2]
+			}
+			durMu.Unlock()
+			if median == 0 {
+				continue
+			}
+			threshold := time.Duration(float64(median) * env.par.specK)
+			if threshold < specMinThreshold {
+				threshold = specMinThreshold
+			}
+			now := time.Now().UnixNano()
+			for i := range states {
+				st := &states[i]
+				if st.claimed.Load() || st.specd.Load() {
+					continue
+				}
+				startNs := st.started.Load()
+				if startNs == 0 || now-startNs < int64(threshold) {
+					continue
+				}
+				st.specd.Store(true)
+				if env.ftally != nil {
+					env.ftally.specs.Add(1)
+				}
+				aux.Add(1)
+				go func(m int, st *specTask) {
+					defer aux.Done()
+					// One best-effort attempt: a panicking or failing
+					// copy is simply dropped — the original still owns
+					// the retry budget.
+					w := env.workerEnv()
+					_ = runTaskAttempt(w, func(w *evalEnv) { run(m, st, w, true) })
+				}(i, st)
+			}
+		}
+	}()
+
+	dispatched := 0
+	for m := 0; m < total; m++ {
+		if env.par.stop.Load() {
+			break
+		}
+		if needed > 0 && produced != nil && produced.Load() >= int64(needed) {
+			break
+		}
+		wg.Add(1)
+		env.pool.tasks <- poolTask{fn: original(m, &states[m]), direct: true}
+		dispatched++
+	}
+	// Morsels beyond dispatched never resolve a claim; their wait-group
+	// slots were never added, so waiting on claims of the dispatched
+	// prefix is exact.
+	wg.Wait()
+	close(watchStop)
+	aux.Wait() // losers and the watchdog are gone before the op returns
+	env.par.ops.Add(1)
+	env.par.morsels.Add(int64(dispatched))
+	if env.trace != nil {
+		cur := env.trace.t.Current()
+		cur.AddInt("morsels", int64(dispatched))
+		cur.SetInt("width", int64(env.par.n))
+	}
+	if env.err == nil {
+		if ferr := env.par.failure(); ferr != nil {
+			env.err = ferr
+		} else if env.par.stop.Load() && env.ctx != nil {
+			if cerr := env.ctx.Err(); cerr != nil {
+				env.err = cerr
+			}
+		}
+	}
+	return dispatched
+}
+
 // mergeMorsels concatenates per-morsel output buffers in morsel order
 // (= serial order), charging the merged batch against the run's
 // budget. Returns nil for an empty result, like the serial join paths.
@@ -420,14 +684,10 @@ func (env *evalEnv) seedScanPar(ps *patternScan, row slotRow, max int) []slotRow
 	total := rdf.MorselCount(n, morselSize)
 	outs := make([][]slotRow, total)
 	var produced atomic.Int64
-	dispatched := env.runMorsels(total, max, &produced, func(m int) func(w *evalEnv) {
+	dispatched := env.runMorselsOut(total, max, &produced, outs, func(m int, w *evalEnv) []slotRow {
 		start, end := rdf.MorselBounds(m, n, morselSize)
-		return func(w *evalEnv) {
-			scratch := w.emptyRow()
-			out := w.scanPattern(ps, row, scratch, ps.candidates[start:end], max, nil)
-			outs[m] = out
-			produced.Add(int64(len(out)))
-		}
+		scratch := w.emptyRow()
+		return w.scanPattern(ps, row, scratch, ps.candidates[start:end], max, nil)
 	})
 	if env.err != nil {
 		return nil
@@ -452,23 +712,21 @@ func (env *evalEnv) hashJoinBuildRightPar(a, b []slotRow, key []int) []slotRow {
 	n := len(a)
 	total := rdf.MorselCount(n, morselSize)
 	outs := make([][]slotRow, total)
-	env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+	env.runMorselsOut(total, 0, nil, outs, func(m int, w *evalEnv) []slotRow {
 		start, end := rdf.MorselBounds(m, n, morselSize)
-		return func(w *evalEnv) {
-			var out []slotRow
-			for _, x := range a[start:end] {
-				if w.interrupted() {
-					break
-				}
-				h := rowKeyHash(x, key) & mask
-				for yi := head[h]; yi >= 0; yi = next[yi] {
-					if y := b[yi]; compatibleRows(x, y) {
-						out = append(out, w.mergeRows(x, y))
-					}
+		var out []slotRow
+		for _, x := range a[start:end] {
+			if w.interrupted() {
+				break
+			}
+			h := rowKeyHash(x, key) & mask
+			for yi := head[h]; yi >= 0; yi = next[yi] {
+				if y := b[yi]; compatibleRows(x, y) {
+					out = append(out, w.mergeRows(x, y))
 				}
 			}
-			outs[m] = out
 		}
+		return out
 	})
 	if env.err != nil {
 		return nil
@@ -485,28 +743,26 @@ func (env *evalEnv) hashOptionalBuildRightPar(left, right []slotRow, key []int) 
 	n := len(left)
 	total := rdf.MorselCount(n, morselSize)
 	outs := make([][]slotRow, total)
-	env.runMorsels(total, 0, nil, func(m int) func(w *evalEnv) {
+	env.runMorselsOut(total, 0, nil, outs, func(m int, w *evalEnv) []slotRow {
 		start, end := rdf.MorselBounds(m, n, morselSize)
-		return func(w *evalEnv) {
-			out := make([]slotRow, 0, end-start)
-			for _, l := range left[start:end] {
-				if w.interrupted() {
-					break
-				}
-				h := rowKeyHash(l, key) & mask
-				matched := false
-				for ri := head[h]; ri >= 0; ri = next[ri] {
-					if r := right[ri]; compatibleRows(l, r) {
-						out = append(out, w.mergeRows(l, r))
-						matched = true
-					}
-				}
-				if !matched {
-					out = append(out, l)
+		out := make([]slotRow, 0, end-start)
+		for _, l := range left[start:end] {
+			if w.interrupted() {
+				break
+			}
+			h := rowKeyHash(l, key) & mask
+			matched := false
+			for ri := head[h]; ri >= 0; ri = next[ri] {
+				if r := right[ri]; compatibleRows(l, r) {
+					out = append(out, w.mergeRows(l, r))
+					matched = true
 				}
 			}
-			outs[m] = out
+			if !matched {
+				out = append(out, l)
+			}
 		}
+		return out
 	})
 	if env.err != nil {
 		return nil

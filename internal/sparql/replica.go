@@ -3,7 +3,6 @@ package sparql
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -103,6 +102,18 @@ type FaultStats struct {
 	Failovers int64
 	// RecoveredPanics counts panics recovered inside the engine.
 	RecoveredPanics int64
+	// Hedges counts hedged replica attempts launched after the hedge
+	// delay elapsed without the primary answering (WithHedge).
+	Hedges int64
+	// HedgeWins counts hedged attempts whose result was committed —
+	// the hedge beat the primary.
+	HedgeWins int64
+	// Speculations counts speculative morsel copies launched by the
+	// straggler watchdog (WithSpeculation).
+	Speculations int64
+	// SpeculationWins counts speculative copies that finished before
+	// their straggling original.
+	SpeculationWins int64
 }
 
 // WithFaultStats makes the run fill fs with its fault counters just
@@ -119,172 +130,10 @@ type faultTally struct {
 	retries   atomic.Int64
 	failovers atomic.Int64
 	panics    atomic.Int64
-}
-
-// replicaBreaker is the circuit-breaker state of one shard replica.
-type replicaBreaker struct {
-	consec   int // consecutive failures
-	open     bool
-	openedAt time.Time
-	trips    int64
-}
-
-// breakerTripThreshold is the consecutive-failure count that opens a
-// replica's breaker.
-const breakerTripThreshold = 3
-
-// defaultBreakerCooldown is how long an open breaker holds traffic off
-// a replica before admitting a half-open probe.
-const defaultBreakerCooldown = 250 * time.Millisecond
-
-// ReplicaHealth tracks the per-replica circuit breakers of one
-// ShardSet: consecutive failures trip a replica open, an open replica
-// admits one half-open probe after the cooldown, and a success closes
-// it again. Breakers steer replica selection, they never deny it — when
-// nothing healthier remains a pick still returns an open replica (a
-// forced probe), so a query only ever fails after actually attempting
-// every replica. All methods are safe for concurrent use; ReplicaHealth
-// is the only mutable state attached to an otherwise immutable set.
-type ReplicaHealth struct {
-	mu       sync.Mutex
-	b        [][]replicaBreaker
-	rr       []int // per-shard round-robin cursor
-	trips    int64
-	cooldown time.Duration
-}
-
-// NewReplicaHealth returns breaker state for shards × replicas, all
-// closed.
-func NewReplicaHealth(shards, replicas int) *ReplicaHealth {
-	h := &ReplicaHealth{
-		b:        make([][]replicaBreaker, shards),
-		rr:       make([]int, shards),
-		cooldown: defaultBreakerCooldown,
-	}
-	for s := range h.b {
-		h.b[s] = make([]replicaBreaker, replicas)
-	}
-	return h
-}
-
-// SetCooldown overrides the half-open probe cooldown (tests and
-// operational tuning).
-func (h *ReplicaHealth) SetCooldown(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.cooldown = d
-}
-
-// pick selects the replica of shard s for the next attempt, skipping
-// replicas already failed by this op (tried). Preference order: closed
-// breakers in round-robin order, then open breakers whose cooldown
-// elapsed (the half-open probe), then the longest-open breaker (the
-// forced probe). Returns -1 only when every replica was already tried.
-func (h *ReplicaHealth) pick(s int, tried []bool, now time.Time) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	bs := h.b[s]
-	n := len(bs)
-	start := h.rr[s]
-	h.rr[s] = (start + 1) % n
-	for i := 0; i < n; i++ {
-		r := (start + i) % n
-		if !tried[r] && !bs[r].open {
-			return r
-		}
-	}
-	forced, oldest := -1, time.Time{}
-	for r := range bs {
-		if tried[r] || !bs[r].open {
-			continue
-		}
-		if now.Sub(bs[r].openedAt) >= h.cooldown {
-			return r
-		}
-		if forced < 0 || bs[r].openedAt.Before(oldest) {
-			forced, oldest = r, bs[r].openedAt
-		}
-	}
-	return forced
-}
-
-// ok records a successful attempt: the replica's breaker closes and its
-// failure streak resets.
-func (h *ReplicaHealth) ok(s, r int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	b := &h.b[s][r]
-	b.consec, b.open = 0, false
-}
-
-// fail records a failed attempt: the streak grows, tripping the breaker
-// open at the threshold; a failed probe re-arms the cooldown.
-func (h *ReplicaHealth) fail(s, r int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	b := &h.b[s][r]
-	b.consec++
-	if b.open {
-		b.openedAt = time.Now()
-		return
-	}
-	if b.consec >= breakerTripThreshold {
-		b.open = true
-		b.openedAt = time.Now()
-		b.trips++
-		h.trips++
-	}
-}
-
-// Trips returns the cumulative breaker trips across all replicas.
-func (h *ReplicaHealth) Trips() int64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.trips
-}
-
-// BreakerInfo is one replica breaker's observable state (/stats).
-type BreakerInfo struct {
-	Shard               int    `json:"shard"`
-	Replica             int    `json:"replica"`
-	State               string `json:"state"` // "closed", "open", "half-open"
-	ConsecutiveFailures int    `json:"consecutive_failures"`
-	Trips               int64  `json:"trips"`
-}
-
-// Snapshot returns every breaker's state, ordered by shard then
-// replica.
-func (h *ReplicaHealth) Snapshot() []BreakerInfo {
-	if h == nil {
-		return nil
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	now := time.Now()
-	var out []BreakerInfo
-	for s := range h.b {
-		for r := range h.b[s] {
-			b := h.b[s][r]
-			state := "closed"
-			if b.open {
-				state = "open"
-				if now.Sub(b.openedAt) >= h.cooldown {
-					state = "half-open"
-				}
-			}
-			out = append(out, BreakerInfo{
-				Shard:               s,
-				Replica:             r,
-				State:               state,
-				ConsecutiveFailures: b.consec,
-				Trips:               b.trips,
-			})
-		}
-	}
-	return out
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	specs     atomic.Int64
+	specWins  atomic.Int64
 }
 
 // mergeShardErrors folds per-worker shard-op errors into the run error:
