@@ -11,6 +11,7 @@
 //	rdfbench -engine S2RDF        # only one system
 //	rdfbench -shards 4            # partition-strategy latency comparison
 //	rdfbench -shards 4 -trace     # + per-query span breakdown
+//	rdfbench -shards 4 -json out.json  # + machine-readable trajectory entry
 //
 // With -shards N the engine assessment is replaced by the
 // partition-strategy comparison: the dataset is sharded N-way under
@@ -22,14 +23,20 @@
 // s = scatter-gather). Adding -trace runs each query once more under
 // execution tracing and reports where its time went — scan, join,
 // gather (shard fan-out and merge), and result serialization self
-// times — as extra columns in both the table and -csv outputs.
+// times — as extra columns in both the table and -csv outputs. Adding
+// -json FILE writes the same measurements (plus per-run allocation
+// counts and each query's plan fingerprint) as one self-describing
+// JSON document, the benchmark-trajectory entry committed PR-over-PR
+// as BENCH_*.json.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -55,6 +62,7 @@ func main() {
 	shards := flag.Int("shards", 0, "compare partition strategies end-to-end over N shards instead of assessing engines")
 	repeat := flag.Int("repeat", 3, "runs per query in -shards mode (p50/p95/p99 reported)")
 	trace := flag.Bool("trace", false, "in -shards mode, add a per-query span breakdown (scan/join/gather/serialize self times)")
+	jsonPath := flag.String("json", "", "in -shards mode, also write the measurements as one machine-readable JSON trajectory entry to this file")
 	flag.Parse()
 
 	conf := spark.Config{
@@ -94,11 +102,15 @@ func main() {
 	}
 
 	if *shards > 0 {
-		runShardBench(triples, queries, *shards, *repeat, *csv, *trace)
+		runShardBench(triples, queries, *dataset+"/"+*scale, *shards, *repeat, *csv, *trace, *jsonPath)
 		return
 	}
 	if *trace {
 		fmt.Fprintln(os.Stderr, "-trace needs -shards mode")
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		fmt.Fprintln(os.Stderr, "-json needs -shards mode")
 		os.Exit(2)
 	}
 
@@ -142,10 +154,11 @@ func main() {
 // the best case. With csvOut the same measurements stream as one CSV
 // row per (strategy, query) pair, ready for spreadsheet or pandas
 // post-processing.
-func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards, repeat int, csvOut, traceOn bool) {
+func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, datasetLabel string, nShards, repeat int, csvOut, traceOn bool, jsonPath string) {
 	if repeat < 1 {
 		repeat = 1
 	}
+	var entries []benchEntry
 	ctx := context.Background()
 	var parsed []*sparql.Query
 	for _, nq := range queries {
@@ -186,6 +199,8 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 			var st sparql.ShardStats
 			samples := make([]time.Duration, 0, repeat)
 			rows := 0
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			for r := 0; r < repeat; r++ {
 				start := time.Now()
 				res, err := sp.Run(ctx, sparql.WithShardStats(&st))
@@ -196,6 +211,9 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 				samples = append(samples, time.Since(start))
 				rows = res.Len()
 			}
+			runtime.ReadMemStats(&ms1)
+			allocsPerRun := (ms1.Mallocs - ms0.Mallocs) / uint64(repeat)
+			allocBytesPerRun := (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(repeat)
 			p50 := percentileMs(samples, 50)
 			p95 := percentileMs(samples, 95)
 			p99 := percentileMs(samples, 99)
@@ -207,6 +225,23 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 			var bd breakdown
 			if traceOn {
 				bd = traceQuery(ctx, sp)
+			}
+			if jsonPath != "" {
+				entries = append(entries, benchEntry{
+					Strategy:      name,
+					Query:         nq.Name,
+					Shape:         sparql.ClassifyShape(nq.Query).String(),
+					Fingerprint:   sparql.FingerprintQuery(nq.Query),
+					Route:         route,
+					ShardsTouched: st.ShardsTouched,
+					Shards:        st.Shards,
+					P50Ms:         p50,
+					P95Ms:         p95,
+					P99Ms:         p99,
+					Rows:          rows,
+					AllocsPerRun:  allocsPerRun,
+					AllocBytes:    allocBytesPerRun,
+				})
 			}
 			if csvOut {
 				fmt.Printf("%s,%v,%.4f,%.4f,%.4f,%s,%s,%d,%d,%.3f,%.3f,%.3f,%d",
@@ -233,6 +268,50 @@ func runShardBench(triples []rdf.Triple, queries []workload.NamedQuery, nShards,
 			fmt.Printf("  %-16s p50=%8.2fms\n\n", "TOTAL", float64(total.Microseconds())/1000)
 		}
 	}
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath, datasetLabel, nShards, repeat, entries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchEntry is one (strategy, query) measurement in the -json output
+// — the benchmark-trajectory record accumulated across PRs as
+// BENCH_*.json files at the repository root.
+type benchEntry struct {
+	Strategy      string  `json:"strategy"`
+	Query         string  `json:"query"`
+	Shape         string  `json:"shape"`
+	Fingerprint   string  `json:"fingerprint"`
+	Route         string  `json:"route"` // p = pushdown, s = scatter-gather
+	ShardsTouched int     `json:"shards_touched"`
+	Shards        int     `json:"shards"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Rows          int     `json:"rows"`
+	AllocsPerRun  uint64  `json:"allocs_per_run"`
+	AllocBytes    uint64  `json:"alloc_bytes_per_run"`
+}
+
+// writeBenchJSON renders one self-describing trajectory entry: the
+// run's provenance (dataset, sharding, repeat count, Go version,
+// timestamp) plus every measurement.
+func writeBenchJSON(path, datasetLabel string, nShards, repeat int, entries []benchEntry) error {
+	doc := map[string]any{
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"dataset":    datasetLabel,
+		"shards":     nShards,
+		"repeat":     repeat,
+		"go_version": runtime.Version(),
+		"results":    entries,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // percentileMs returns the nearest-rank p-th percentile of the

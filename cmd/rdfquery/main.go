@@ -11,6 +11,7 @@
 //	echo 'ASK { ?s ?p ?o }' | rdfquery -data data.nt -queryfile -
 //	rdfquery -data data.nt -queryfile q.rq -repeat 100   # one Prepared plan
 //	rdfquery -data data.nt -query '...' -explain         # EXPLAIN ANALYZE tree
+//	rdfquery -data data.nt -query '...' -trace           # self-time breakdown + top spans
 //	rdfquery -engines    # list available engines
 package main
 
@@ -38,6 +39,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the query N times reusing one prepared plan")
 	timeout := flag.Duration("timeout", 0, "per-run deadline for the reference evaluator (0 = none)")
 	explain := flag.Bool("explain", false, "print the EXPLAIN ANALYZE span tree after the results (reference engine only)")
+	trace := flag.Bool("trace", false, "print a traced self-time breakdown (scan/join/serialize) and top spans after the results (reference engine only)")
 	list := flag.Bool("engines", false, "list engine names and exit")
 	flag.Parse()
 
@@ -109,7 +111,7 @@ func main() {
 				ctx, cancel = context.WithTimeout(ctx, *timeout)
 			}
 			var opts []sparql.RunOption
-			if *explain {
+			if *explain || *trace {
 				// A fresh trace per run; the printed tree is the last
 				// run's, the one the timing footer also reflects best.
 				tr = obs.New("query")
@@ -126,8 +128,11 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Print(res.String())
-		if tr != nil {
+		if *explain {
 			fmt.Print(tr.Text())
+		}
+		if *trace {
+			printTraceSummary(tr, prep.Fingerprint())
 		}
 		if *repeat > 1 {
 			fmt.Printf("%d runs of one prepared plan in %v (%v/run)\n",
@@ -137,6 +142,9 @@ func main() {
 	}
 	if *explain {
 		fail("-explain needs the reference engine")
+	}
+	if *trace {
+		fail("-trace needs the reference engine")
 	}
 	for _, e := range systems.AllEngines(conf) {
 		if e.Info().Name != *engineName {
@@ -164,6 +172,30 @@ func main() {
 		return
 	}
 	fail("unknown engine " + *engineName + " (try -engines)")
+}
+
+// printTraceSummary renders the last run's trace the way rdfbench
+// -trace does for sharded runs: self time bucketed into scan / join /
+// other, then the top spans by self time, plus the query's plan
+// fingerprint (the key into a server's /debug/shapes registry).
+func printTraceSummary(tr *obs.Trace, fingerprint string) {
+	var scan, join, other float64
+	tr.Root().Walk(func(s *obs.Span, _ int) {
+		ms := float64(s.SelfTime().Microseconds()) / 1000
+		switch s.Name {
+		case "seed_scan", "match":
+			scan += ms
+		case "join", "optional":
+			join += ms
+		default:
+			other += ms
+		}
+	})
+	fmt.Printf("trace: scan=%.3fms join=%.3fms other=%.3fms  fingerprint=%s\n",
+		scan, join, other, fingerprint)
+	for _, sp := range tr.TopSelf(5) {
+		fmt.Printf("  %-24s %8.3fms\n", sp.Name, sp.SelfMs)
+	}
 }
 
 func fail(msg string) {

@@ -42,15 +42,19 @@
 //
 // Endpoints: /sparql (GET ?query=..., POST form or
 // application/sparql-query), /healthz, /stats, /metrics (Prometheus
-// text exposition). Useful /sparql parameters: format=json|tsv,
-// timeout=500ms, explain=analyze (answer with the EXPLAIN ANALYZE
-// span tree instead of results).
+// text exposition), /debug/queries (retained trace index; append a
+// request id for one span tree), /debug/shapes (plan-fingerprint
+// registry), /debug/dash (live HTML dashboard). Useful /sparql
+// parameters: format=json|tsv, timeout=500ms, explain=analyze (answer
+// with the EXPLAIN ANALYZE span tree instead of results).
 //
 // Observability flags: -debug-addr serves the pprof profiling
 // endpoints on a separate listener (kept off the query port);
 // -slow-query-threshold arms per-query tracing and logs queries
 // slower than the threshold as JSON lines to -slow-query-log
-// (default stderr).
+// (default stderr); -trace-sample N traces 1 in N queries and parks
+// their span trees in the -trace-ring sized history behind
+// /debug/queries; -max-shapes bounds the fingerprint registry.
 package main
 
 import (
@@ -104,6 +108,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof profiling endpoints on this separate address (empty disables)")
 	slowThreshold := flag.Duration("slow-query-threshold", 0, "trace every query and log ones slower than this as JSON lines (0 disables)")
 	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr; needs -slow-query-threshold)")
+	traceSample := flag.Int("trace-sample", 128, "trace 1 in N queries and retain their span trees for /debug/queries (0 disables sampling)")
+	traceRing := flag.Int("trace-ring", 64, "completed traces retained for /debug/queries (newest evicts oldest)")
+	maxShapes := flag.Int("max-shapes", 512, "distinct query shapes tracked by the fingerprint registry (LRU beyond)")
 	flag.Parse()
 
 	triples, err := loadTriples(*dataPath, *dataset, *scale)
@@ -125,6 +132,9 @@ func main() {
 		SpeculationFactor:    *speculation,
 		BreakerTripThreshold: *breakerTrip,
 		BreakerCooldown:      *breakerCooldown,
+		TraceSampleRate:      *traceSample,
+		TraceRingSize:        *traceRing,
+		MaxShapes:            *maxShapes,
 	}
 	if *slowLogPath != "" {
 		if *slowThreshold <= 0 {

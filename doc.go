@@ -256,6 +256,37 @@
 // (inbound ids are honored, error bodies quote it), and rdfserve
 // -debug-addr serves pprof on a separate listener off the query port.
 //
+// # Workload observability
+//
+// Where EXPLAIN describes one query, the workload observatory
+// describes what the server has been serving — always on, bounded in
+// memory. Its key is the plan fingerprint (sparql.FingerprintQuery,
+// memoized on every Prepared plan): a hash of the query's structure
+// under canonical variable numbering — join graph, predicate
+// identities, filter shapes, modifiers — with literal values, entity
+// constants, and LIMIT/OFFSET arguments erased, so ten thousand
+// instantiations of one template are one workload entry. The server
+// folds every request into a per-fingerprint aggregate
+// (obs.ShapeRegistry: count, latency/rows/bytes histograms, route
+// mix, cache hits, errors, sheds/degrades, hedges/speculations),
+// LRU-bounded at Config.MaxShapes distinct shapes and served at
+// GET /debug/shapes and in the /stats workload block.
+// Config.TraceSampleRate arms always-on sampled tracing — one in N
+// requests runs traced, deterministically off the request counter —
+// and finished span trees (sampled, slow, and EXPLAIN captures) are
+// retained in a bounded ring (obs.TraceRing, Config.TraceRingSize)
+// behind GET /debug/queries and /debug/queries/<request-id>. Sampling
+// inherits the observe-don't-steer contract: sampled responses are
+// byte-identical and unsampled requests keep the one-nil-check fast
+// path. /metrics adds labeled series — per-replica breaker state,
+// latency EWMA, and error rate keyed {shard,replica}; per-shape query/
+// error/cache-hit counters and p95 keyed {fingerprint,class} — and
+// slow-query log lines carry plan_fingerprint so a slow line joins
+// against its shape's history. GET /debug/dash serves a
+// self-contained HTML dashboard (no external assets) over these
+// endpoints, and rdfbench -json writes the same fingerprint-keyed
+// per-query results as a machine-readable benchmark document.
+//
 // Run the micro-benchmarks tracking these paths with
 //
 //	go test -run xxx -bench 'BenchmarkEval|BenchmarkPartitionBy|BenchmarkReduceByKey' -benchmem ./...

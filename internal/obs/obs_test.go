@@ -3,9 +3,11 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -293,6 +295,69 @@ func TestSlowQueryLogger(t *testing.T) {
 		t.Fatalf("top_spans wrong: %v", rec["top_spans"])
 	}
 }
+
+// TestSlowQueryLoggerConcurrent pins the no-interleaving contract:
+// many goroutines logging to one shared writer produce exactly one
+// valid JSON line per record, each line whole.
+func TestSlowQueryLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewSlowQueryLogger(lockedWriter)
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := l.Log(SlowQueryEntry{
+					RequestID:       fmt.Sprintf("w%d-%d", w, i),
+					QueryHash:       QueryHash(fmt.Sprintf("SELECT %d", i)),
+					PlanFingerprint: "aaaa000011112222",
+					Route:           "local",
+					DurationMs:      float64(i),
+					TopSpans:        []SpanSelf{{Name: "join", SelfMs: 1.5}},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*perWorker)
+	}
+	seen := make(map[string]bool, len(lines))
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved or invalid line: %v\n%s", err, line)
+		}
+		id, _ := rec["request_id"].(string)
+		if seen[id] {
+			t.Fatalf("duplicate request_id %q", id)
+		}
+		seen[id] = true
+		if rec["plan_fingerprint"] != "aaaa000011112222" {
+			t.Fatalf("plan_fingerprint wrong in %s", line)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer for test writers.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 func TestQueryHashStable(t *testing.T) {
 	a, b := QueryHash("SELECT 1"), QueryHash("SELECT 1")

@@ -72,6 +72,31 @@ func (w *MetricsWriter) GaugeL(name, help string, labels []Label, v float64) {
 	w.sample(name, labels, v)
 }
 
+// Sample is one labeled observation of a multi-sample family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// CounterVec emits one counter family with a sample per label set —
+// the per-shape and per-replica workload series. An empty sample list
+// emits the header only, which the format permits.
+func (w *MetricsWriter) CounterVec(name, help string, samples []Sample) {
+	w.header(name, help, "counter")
+	for _, s := range samples {
+		w.sample(name, s.Labels, s.Value)
+	}
+}
+
+// GaugeVec emits one gauge family with a sample per label set (e.g.
+// per-replica breaker state and health score).
+func (w *MetricsWriter) GaugeVec(name, help string, samples []Sample) {
+	w.header(name, help, "gauge")
+	for _, s := range samples {
+		w.sample(name, s.Labels, s.Value)
+	}
+}
+
 // Histogram emits one histogram family. uppers are the bucket upper
 // bounds; counts has len(uppers)+1 entries — the count observed in
 // each bound's bucket plus the final overflow bucket — and sum is the

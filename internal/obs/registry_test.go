@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func sampleFor(fp string) ShapeSample {
+	return ShapeSample{
+		Fingerprint: fp,
+		Class:       "star",
+		Example:     "SELECT ?s WHERE { ?s <http://ex/p> ?o }",
+		Route:       "local",
+		DurationMs:  3,
+		Rows:        10,
+		Bytes:       1024,
+	}
+}
+
+// TestRegistryFoldsOneShape pins the aggregation contract: many
+// observations of one fingerprint stay one entry, with counts folded.
+func TestRegistryFoldsOneShape(t *testing.T) {
+	r := NewShapeRegistry(16)
+	for i := 0; i < 10000; i++ {
+		s := sampleFor("aaaa000011112222")
+		s.CacheHit = i > 0
+		if i%10 == 0 {
+			s.Err = true
+		}
+		r.Observe(s)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	top := r.TopK(0)
+	if len(top) != 1 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+	st := top[0]
+	if st.Count != 10000 {
+		t.Fatalf("count %d", st.Count)
+	}
+	if st.Errors != 1000 {
+		t.Fatalf("errors %d", st.Errors)
+	}
+	if st.CacheHits != 9999 {
+		t.Fatalf("cache hits %d", st.CacheHits)
+	}
+	if st.RowsTotal != 100000 {
+		t.Fatalf("rows total %d", st.RowsTotal)
+	}
+	if st.Routes["local"] != 10000 {
+		t.Fatalf("routes %v", st.Routes)
+	}
+	if st.LatencyP50Ms <= 0 || st.LatencyP95Ms < st.LatencyP50Ms {
+		t.Fatalf("quantiles p50=%v p95=%v", st.LatencyP50Ms, st.LatencyP95Ms)
+	}
+	if r.Evictions() != 0 {
+		t.Fatalf("evictions %d", r.Evictions())
+	}
+}
+
+// TestRegistryLRUBound pins the cardinality bound: 10k distinct shapes
+// never grow the registry past its capacity, and the survivors are the
+// most recently seen.
+func TestRegistryLRUBound(t *testing.T) {
+	const cap = 64
+	r := NewShapeRegistry(cap)
+	for i := 0; i < 10000; i++ {
+		if got := r.Len(); got > cap {
+			t.Fatalf("registry grew to %d > cap %d at i=%d", got, cap, i)
+		}
+		r.Observe(sampleFor(fmt.Sprintf("%016x", i)))
+	}
+	if got := r.Len(); got != cap {
+		t.Fatalf("Len = %d, want %d", got, cap)
+	}
+	if ev := r.Evictions(); ev != 10000-cap {
+		t.Fatalf("evictions %d, want %d", ev, 10000-cap)
+	}
+	// The newest shapes survived; the oldest were evicted.
+	for _, st := range r.TopK(0) {
+		var n int
+		fmt.Sscanf(st.Fingerprint, "%016x", &n)
+		if n < 10000-cap {
+			t.Fatalf("old shape %s survived eviction", st.Fingerprint)
+		}
+	}
+}
+
+// TestRegistryLRURecency pins the "recently used" half of LRU: an old
+// shape that keeps being observed survives a flood of new shapes.
+func TestRegistryLRURecency(t *testing.T) {
+	r := NewShapeRegistry(8)
+	r.Observe(sampleFor("hot0000000000000"))
+	for i := 0; i < 1000; i++ {
+		r.Observe(sampleFor(fmt.Sprintf("cold%012x", i)))
+		r.Observe(sampleFor("hot0000000000000")) // keep it warm
+	}
+	found := false
+	for _, st := range r.TopK(0) {
+		if st.Fingerprint == "hot0000000000000" {
+			found = true
+			if st.Count != 1001 {
+				t.Fatalf("hot shape count %d", st.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("frequently seen shape was evicted")
+	}
+}
+
+// TestRegistryTopKOrder pins heavy-hitter ordering: count descending,
+// fingerprint ascending on ties, truncated to k.
+func TestRegistryTopKOrder(t *testing.T) {
+	r := NewShapeRegistry(16)
+	for i, n := range []int{3, 7, 7, 1} {
+		fp := fmt.Sprintf("%016d", i)
+		for j := 0; j < n; j++ {
+			r.Observe(sampleFor(fp))
+		}
+	}
+	top := r.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top))
+	}
+	wantOrder := []string{"0000000000000001", "0000000000000002", "0000000000000000"}
+	for i, want := range wantOrder {
+		if top[i].Fingerprint != want {
+			t.Fatalf("rank %d = %s (count %d), want %s", i, top[i].Fingerprint, top[i].Count, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises Observe/TopK/Len under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewShapeRegistry(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(sampleFor(fmt.Sprintf("%08x%08x", w%4, i%40)))
+				if i%100 == 0 {
+					r.TopK(5)
+					r.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() == 0 || r.Len() > 32 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

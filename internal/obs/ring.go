@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRing retains the span trees of recently traced requests in a
+// fixed-size ring: the newest trace overwrites the oldest once the
+// ring is full, so retention cost is bounded no matter how long the
+// server runs. It backs GET /debug/queries — the in-process analogue
+// of a tracing backend's "recent traces" page — and holds whatever
+// tracing armed: sampled requests, slow-query captures, and explicit
+// EXPLAIN ANALYZE runs.
+//
+// Traces are retained after Finish, when the driving goroutine is done
+// mutating the span tree, so concurrent readers need no locking beyond
+// the ring's own mutex.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []RetainedTrace
+	next  int
+	n     int
+	seq   uint64
+}
+
+// RetainedTrace is one completed request's trace plus the request
+// metadata needed to find it again.
+type RetainedTrace struct {
+	RequestID   string    `json:"request_id"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Query       string    `json:"query,omitempty"`
+	Route       string    `json:"route,omitempty"`
+	Reason      string    `json:"reason"` // sampled | slow | explain
+	DurationMs  float64   `json:"duration_ms"`
+	Status      int       `json:"status"`
+	When        time.Time `json:"when"`
+	Trace       *Trace    `json:"-"`
+
+	seq uint64 // retention order, newest highest
+}
+
+// NewTraceRing builds a ring retaining up to capacity traces
+// (non-positive defaults to 64).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceRing{slots: make([]RetainedTrace, capacity)}
+}
+
+// Add retains one completed trace, evicting the oldest when full.
+func (r *TraceRing) Add(t RetainedTrace) {
+	if t.Query != "" {
+		t.Query = truncate(t.Query, 400)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.seq = r.seq
+	r.slots[r.next] = t
+	r.next = (r.next + 1) % len(r.slots)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+}
+
+// List returns the retained traces newest-first. The Trace pointers
+// are shared with the ring; callers must treat the span trees as
+// read-only (they are immutable after Finish).
+func (r *TraceRing) List() []RetainedTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RetainedTrace, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		// Walk backwards from the slot before next (the newest).
+		idx := (r.next - 1 - i + 2*len(r.slots)) % len(r.slots)
+		out = append(out, r.slots[idx])
+	}
+	return out
+}
+
+// Get returns the retained trace for a request id. When the same id
+// was retained more than once, the newest wins.
+func (r *TraceRing) Get(requestID string) (RetainedTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best RetainedTrace
+	found := false
+	for i := 0; i < r.n; i++ {
+		if r.slots[i].RequestID == requestID && (!found || r.slots[i].seq > best.seq) {
+			best = r.slots[i]
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Len returns the number of traces currently retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.slots) }

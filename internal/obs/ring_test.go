@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func retained(id string) RetainedTrace {
+	tr := New("query")
+	tr.Finish()
+	return RetainedTrace{RequestID: id, Reason: "sampled", Trace: tr}
+}
+
+// TestTraceRingEviction pins the retention bound: the ring never holds
+// more than its capacity, the newest traces win, and List is
+// newest-first.
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(retained(fmt.Sprintf("req-%d", i)))
+		if r.Len() > 4 {
+			t.Fatalf("ring grew to %d at i=%d", r.Len(), i)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	list := r.List()
+	want := []string{"req-9", "req-8", "req-7", "req-6"}
+	for i, w := range want {
+		if list[i].RequestID != w {
+			t.Fatalf("List[%d] = %s, want %s", i, list[i].RequestID, w)
+		}
+	}
+	// Evicted ids are gone; retained ids resolve.
+	if _, ok := r.Get("req-0"); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	rt, ok := r.Get("req-8")
+	if !ok || rt.RequestID != "req-8" || rt.Trace == nil {
+		t.Fatalf("Get(req-8) = %+v, %v", rt, ok)
+	}
+}
+
+// TestTraceRingDuplicateIDNewestWins pins the duplicate-id rule: when
+// a client reuses X-Request-ID, Get returns the newest retention.
+func TestTraceRingDuplicateIDNewestWins(t *testing.T) {
+	r := NewTraceRing(8)
+	a := retained("dup")
+	a.DurationMs = 1
+	r.Add(a)
+	b := retained("dup")
+	b.DurationMs = 2
+	r.Add(b)
+	got, ok := r.Get("dup")
+	if !ok || got.DurationMs != 2 {
+		t.Fatalf("Get(dup) = %+v, %v; want the newest (duration 2)", got, ok)
+	}
+}
+
+// TestTraceRingConcurrent exercises Add/List/Get under -race.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(retained(fmt.Sprintf("w%d-%d", w, i)))
+				if i%50 == 0 {
+					r.List()
+					r.Get(fmt.Sprintf("w%d-%d", w, i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

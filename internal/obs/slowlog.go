@@ -13,12 +13,17 @@ import (
 // size-bounded and query text (which may embed data) stays out of log
 // pipelines; the hash still correlates recurrences of the same query.
 type SlowQueryEntry struct {
-	RequestID     string
-	QueryHash     string
-	Route         string
-	Shards        int
-	ShardsTouched int
-	DurationMs    float64
+	RequestID string
+	QueryHash string
+	// PlanFingerprint is the normalized query-shape hash
+	// (sparql.FingerprintQuery); it joins slow entries against the
+	// workload shape registry, where QueryHash identifies only the
+	// exact text.
+	PlanFingerprint string
+	Route           string
+	Shards          int
+	ShardsTouched   int
+	DurationMs      float64
 	// Hedges and Speculations count tail-latency recovery actions
 	// (hedged shard operations launched and speculative morsel
 	// re-executions) taken while serving this query; a nonzero value
@@ -65,6 +70,8 @@ func (l *SlowQueryLogger) Log(e SlowQueryEntry) error {
 	buf = appendJSONString(buf, e.RequestID)
 	buf = append(buf, `,"query_hash":`...)
 	buf = appendJSONString(buf, e.QueryHash)
+	buf = append(buf, `,"plan_fingerprint":`...)
+	buf = appendJSONString(buf, e.PlanFingerprint)
 	buf = append(buf, `,"route":`...)
 	buf = appendJSONString(buf, e.Route)
 	buf = append(buf, `,"shards":`...)

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Workload-observatory endpoints: the retained-trace browser
+// (/debug/queries), the shape-registry view (/debug/shapes), and the
+// live dashboard (/debug/dash). Everything here reads snapshots of
+// state the serving path maintains anyway, so hitting these endpoints
+// never perturbs query execution.
+
+// handleDebugQueries serves the trace ring. Bare /debug/queries is the
+// index — retained traces newest-first, metadata only — and
+// /debug/queries/<request-id> is one request's full span tree, as JSON
+// (default) or indented text (?format=text).
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/queries")
+	id = strings.TrimPrefix(id, "/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"capacity": s.ring.Cap(),
+			"retained": s.ring.Len(),
+			"traces":   s.ring.List(),
+		})
+		return
+	}
+	rt, ok := s.ring.Get(id)
+	if !ok {
+		s.httpError(w, r, "debug: no retained trace for request id "+id, http.StatusNotFound)
+		return
+	}
+	if param(r, "format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, rt.Trace.Text())
+		return
+	}
+	body := map[string]any{
+		"request_id":  rt.RequestID,
+		"fingerprint": rt.Fingerprint,
+		"query":       rt.Query,
+		"route":       rt.Route,
+		"reason":      rt.Reason,
+		"duration_ms": rt.DurationMs,
+		"status":      rt.Status,
+		"when":        rt.When,
+		"trace":       json.RawMessage(rt.Trace.JSON()),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+// handleDebugShapes serves the plan-fingerprint registry: the top-k
+// shapes by request count (?k=, default 50, k=0 for all retained)
+// plus the registry's bounds.
+func (s *Server) handleDebugShapes(w http.ResponseWriter, r *http.Request) {
+	k := 50
+	if v := param(r, "k"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			k = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"tracked":   s.shapes.Len(),
+		"capacity":  s.shapes.Capacity(),
+		"evictions": s.shapes.Evictions(),
+		"shapes":    s.shapes.TopK(k),
+	})
+}
+
+// handleDebugDash serves the live dashboard: one self-contained HTML
+// page (no external assets, no frameworks) that polls /stats,
+// /debug/shapes, and /debug/queries every two seconds and renders the
+// serving counters, the shape heavy-hitter table, and the recent
+// traces — an in-process stand-in for the Spark UI the surveyed
+// systems lean on.
+func (s *Server) handleDebugDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, dashHTML)
+}
+
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rdfserve workload observatory</title>
+<style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5rem; background: #14161a; color: #d8dce2; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin: 1.2rem 0 .4rem; color: #9fb4d0; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #2a2f37; font-variant-numeric: tabular-nums; }
+th { color: #8a93a1; font-weight: 600; }
+td.num, th.num { text-align: right; }
+code { color: #7fd1a8; }
+.cards { display: flex; flex-wrap: wrap; gap: .8rem; }
+.card { background: #1c2027; border: 1px solid #2a2f37; border-radius: 6px; padding: .6rem .9rem; min-width: 7.5rem; }
+.card .v { font-size: 1.3rem; font-weight: 700; } .card .k { color: #8a93a1; font-size: .75rem; }
+.err { color: #e07a7a; } .ok { color: #7fd1a8; }
+#status { color: #8a93a1; font-size: .8rem; }
+a { color: #9fb4d0; }
+</style>
+</head>
+<body>
+<h1>rdfserve workload observatory</h1>
+<div id="status">loading…</div>
+<div class="cards" id="cards"></div>
+<h2>Query shapes (top by count)</h2>
+<table id="shapes"><thead><tr>
+<th>fingerprint</th><th>class</th><th class="num">count</th><th class="num">errors</th>
+<th class="num">cache hits</th><th class="num">p50 ms</th><th class="num">p95 ms</th>
+<th class="num">p99 ms</th><th class="num">mean rows</th><th>route</th><th>example</th>
+</tr></thead><tbody></tbody></table>
+<h2>Recent traces (<a href="/debug/queries">/debug/queries</a>)</h2>
+<table id="traces"><thead><tr>
+<th>request</th><th>reason</th><th>route</th><th class="num">ms</th><th>fingerprint</th><th>query</th>
+</tr></thead><tbody></tbody></table>
+<script>
+"use strict";
+function el(tag, cls, text) {
+  const e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+function card(k, v, cls) {
+  const c = el("div", "card");
+  c.appendChild(el("div", "v" + (cls ? " " + cls : ""), String(v)));
+  c.appendChild(el("div", "k", k));
+  return c;
+}
+function fmtRoutes(routes) {
+  return Object.entries(routes || {}).map(([k, v]) => k + ":" + v).join(" ");
+}
+async function refresh() {
+  try {
+    const [stats, shapes, traces] = await Promise.all([
+      fetch("/stats").then(r => r.json()),
+      fetch("/debug/shapes?k=25").then(r => r.json()),
+      fetch("/debug/queries").then(r => r.json()),
+    ]);
+    const cards = document.getElementById("cards");
+    cards.replaceChildren(
+      card("served", stats.served),
+      card("failed", stats.failed, stats.failed > 0 ? "err" : "ok"),
+      card("timeouts", stats.timeouts),
+      card("rejected", stats.rejected),
+      card("in flight", stats.in_flight),
+      card("mean ms", (stats.latency && stats.latency.mean_ms || 0).toFixed(2)),
+      card("shapes tracked", shapes.tracked + "/" + shapes.capacity),
+      card("traces retained", traces.retained + "/" + traces.capacity),
+    );
+    const stb = document.querySelector("#shapes tbody");
+    stb.replaceChildren(...(shapes.shapes || []).map(sh => {
+      const tr = el("tr");
+      const fp = el("td"); fp.appendChild(el("code", "", sh.fingerprint)); tr.appendChild(fp);
+      tr.appendChild(el("td", "", sh.class));
+      tr.appendChild(el("td", "num", sh.count));
+      tr.appendChild(el("td", sh.errors > 0 ? "num err" : "num", sh.errors));
+      tr.appendChild(el("td", "num", sh.cache_hits));
+      tr.appendChild(el("td", "num", sh.latency_p50_ms));
+      tr.appendChild(el("td", "num", sh.latency_p95_ms));
+      tr.appendChild(el("td", "num", sh.latency_p99_ms));
+      tr.appendChild(el("td", "num", sh.mean_rows.toFixed(1)));
+      tr.appendChild(el("td", "", fmtRoutes(sh.routes)));
+      tr.appendChild(el("td", "", (sh.example || "").slice(0, 80)));
+      return tr;
+    }));
+    const ttb = document.querySelector("#traces tbody");
+    ttb.replaceChildren(...(traces.traces || []).map(t => {
+      const tr = el("tr");
+      const a = el("a", "", t.request_id);
+      a.href = "/debug/queries/" + encodeURIComponent(t.request_id);
+      const td = el("td"); td.appendChild(a); tr.appendChild(td);
+      tr.appendChild(el("td", "", t.reason));
+      tr.appendChild(el("td", "", t.route || ""));
+      tr.appendChild(el("td", "num", t.duration_ms.toFixed(2)));
+      const fp = el("td"); fp.appendChild(el("code", "", t.fingerprint || "")); tr.appendChild(fp);
+      tr.appendChild(el("td", "", (t.query || "").slice(0, 80)));
+      return tr;
+    }));
+    document.getElementById("status").textContent =
+      "live — refreshed " + new Date().toLocaleTimeString();
+  } catch (err) {
+    document.getElementById("status").textContent = "refresh failed: " + err;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -74,7 +75,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.Counter("rdf_scatter_queries_total", "Queries routed scatter-gather.", float64(scatter))
 		mw.Counter("rdf_shards_touched_total", "Shards scanned across all queries.", float64(touched))
 		mw.Counter("rdf_shards_pruned_total", "Shard scans skipped by pruning.", float64(pruned))
+		s.writeReplicaMetrics(mw)
 	}
+	s.writeShapeMetrics(mw)
 
 	mw.Gauge("rdf_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
 	mw.GaugeL("rdf_build_info", "Build information; constant 1.",
@@ -82,4 +85,85 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(mw.Bytes())
+}
+
+// writeReplicaMetrics renders per-replica health as labeled series:
+// breaker state (0 closed, 1 half-open, 2 open), consecutive failures,
+// trips, latency EWMA, and decayed error rate, each labeled
+// {shard,replica}. Until this PR replica health was visible only in
+// /stats JSON — a metrics scraper could not alert on a stuck breaker.
+func (s *Server) writeReplicaMetrics(mw *obs.MetricsWriter) {
+	h := s.shards.Set().Health
+	if h == nil {
+		return
+	}
+	infos := h.Snapshot()
+	if len(infos) == 0 {
+		return
+	}
+	state := make([]obs.Sample, 0, len(infos))
+	consec := make([]obs.Sample, 0, len(infos))
+	trips := make([]obs.Sample, 0, len(infos))
+	ewma := make([]obs.Sample, 0, len(infos))
+	errRate := make([]obs.Sample, 0, len(infos))
+	for _, bi := range infos {
+		labels := []obs.Label{
+			{Name: "shard", Value: strconv.Itoa(bi.Shard)},
+			{Name: "replica", Value: strconv.Itoa(bi.Replica)},
+		}
+		sv := 0.0
+		switch bi.State {
+		case "half-open":
+			sv = 1
+		case "open":
+			sv = 2
+		}
+		state = append(state, obs.Sample{Labels: labels, Value: sv})
+		consec = append(consec, obs.Sample{Labels: labels, Value: float64(bi.ConsecutiveFailures)})
+		trips = append(trips, obs.Sample{Labels: labels, Value: float64(bi.Trips)})
+		ewma = append(ewma, obs.Sample{Labels: labels, Value: bi.LatencyEwmaMs})
+		errRate = append(errRate, obs.Sample{Labels: labels, Value: bi.ErrorRate})
+	}
+	mw.GaugeVec("rdf_replica_breaker_state", "Replica circuit-breaker state: 0 closed, 1 half-open, 2 open.", state)
+	mw.GaugeVec("rdf_replica_consecutive_failures", "Consecutive failures recorded against the replica.", consec)
+	mw.CounterVec("rdf_replica_breaker_trips_total", "Times the replica's breaker tripped open.", trips)
+	mw.GaugeVec("rdf_replica_latency_ewma_ms", "Replica successful-attempt latency EWMA, milliseconds (0 unsampled).", ewma)
+	mw.GaugeVec("rdf_replica_error_rate", "Replica decayed failure rate in [0, 1].", errRate)
+}
+
+// shapeMetricsTopK bounds the per-shape labeled series on /metrics to
+// the heavy hitters; the full registry stays available at
+// /debug/shapes. Without the bound a high-cardinality workload would
+// bloat every scrape.
+const shapeMetricsTopK = 20
+
+// writeShapeMetrics renders the plan-fingerprint registry's heavy
+// hitters as labeled series keyed {fingerprint,class}.
+func (s *Server) writeShapeMetrics(mw *obs.MetricsWriter) {
+	mw.Gauge("rdf_shapes_tracked", "Distinct query shapes currently retained in the fingerprint registry.", float64(s.shapes.Len()))
+	mw.Counter("rdf_shape_evictions_total", "Query shapes evicted by the registry's LRU bound.", float64(s.shapes.Evictions()))
+	mw.Counter("rdf_sampled_traces_total", "Requests picked by the 1-in-N trace sampler.", float64(s.m.sampledSnapshot()))
+	mw.Gauge("rdf_trace_ring_entries", "Completed traces retained for /debug/queries.", float64(s.ring.Len()))
+	top := s.shapes.TopK(shapeMetricsTopK)
+	if len(top) == 0 {
+		return
+	}
+	queries := make([]obs.Sample, 0, len(top))
+	errs := make([]obs.Sample, 0, len(top))
+	hits := make([]obs.Sample, 0, len(top))
+	p95 := make([]obs.Sample, 0, len(top))
+	for _, st := range top {
+		labels := []obs.Label{
+			{Name: "fingerprint", Value: st.Fingerprint},
+			{Name: "class", Value: st.Class},
+		}
+		queries = append(queries, obs.Sample{Labels: labels, Value: float64(st.Count)})
+		errs = append(errs, obs.Sample{Labels: labels, Value: float64(st.Errors)})
+		hits = append(hits, obs.Sample{Labels: labels, Value: float64(st.CacheHits)})
+		p95 = append(p95, obs.Sample{Labels: labels, Value: st.LatencyP95Ms})
+	}
+	mw.CounterVec("rdf_shape_queries_total", "Requests observed per query shape (top shapes by count).", queries)
+	mw.CounterVec("rdf_shape_errors_total", "Failed requests per query shape (top shapes by count).", errs)
+	mw.CounterVec("rdf_shape_cache_hits_total", "Plan-cache hits per query shape (top shapes by count).", hits)
+	mw.GaugeVec("rdf_shape_latency_p95_ms", "Estimated p95 end-to-end latency per query shape, milliseconds.", p95)
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/sparql"
 )
 
 // jsonSpan mirrors the obs.Trace JSON rendering for EXPLAIN tests.
@@ -270,6 +271,7 @@ func TestSlowQueryLog(t *testing.T) {
 		TS            string  `json:"ts"`
 		RequestID     string  `json:"request_id"`
 		QueryHash     string  `json:"query_hash"`
+		PlanFP        string  `json:"plan_fingerprint"`
 		Route         string  `json:"route"`
 		Shards        int     `json:"shards"`
 		ShardsTouched int     `json:"shards_touched"`
@@ -287,6 +289,11 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	if entry.QueryHash != obs.QueryHash(q) {
 		t.Fatalf("query_hash %q, want %q", entry.QueryHash, obs.QueryHash(q))
+	}
+	if prep, err := sparql.Prepare(q); err != nil {
+		t.Fatal(err)
+	} else if entry.PlanFP != prep.Fingerprint() {
+		t.Fatalf("plan_fingerprint %q, want %q", entry.PlanFP, prep.Fingerprint())
 	}
 	if entry.Route != "local" {
 		t.Fatalf("route %q", entry.Route)

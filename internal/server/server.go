@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -136,6 +137,23 @@ type Config struct {
 	// SlowQueryLog is the slow-query log destination. Default (nil) is
 	// os.Stderr.
 	SlowQueryLog io.Writer
+	// TraceSampleRate, when > 0, arms always-on sampled tracing: one in
+	// every TraceSampleRate queries runs traced (deterministically, off
+	// the server's request counter — request N is sampled when N is a
+	// multiple of the rate) and its completed span tree is retained in
+	// the trace ring behind GET /debug/queries. Sampling changes nothing
+	// observable about the response — a sampled body is byte-identical
+	// to an untraced one — and unsampled queries keep the evaluator's
+	// one-nil-check fast path. Default 0 (disabled).
+	TraceSampleRate int
+	// TraceRingSize bounds how many completed traces (sampled, slow, or
+	// EXPLAIN ANALYZE) the server retains for /debug/queries; the newest
+	// trace evicts the oldest. Default (0) is 64.
+	TraceRingSize int
+	// MaxShapes bounds the plan-fingerprint registry: at most this many
+	// distinct query shapes keep aggregates at once, LRU-evicted beyond
+	// that. Default (0) is 512.
+	MaxShapes int
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +177,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue == 0 {
 		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
+	}
+	if c.MaxShapes <= 0 {
+		c.MaxShapes = 512
 	}
 	return c
 }
@@ -198,6 +222,13 @@ type Server struct {
 	// query.
 	slowLog *obs.SlowQueryLogger
 
+	// Workload observatory: shapes aggregates served queries by plan
+	// fingerprint, ring retains recently traced span trees, and
+	// reqCount drives deterministic 1-in-N trace sampling.
+	shapes   *obs.ShapeRegistry
+	ring     *obs.TraceRing
+	reqCount atomic.Uint64
+
 	started time.Time
 }
 
@@ -221,10 +252,16 @@ func newServer(cfg Config) *Server {
 		}
 		s.slowLog = obs.NewSlowQueryLogger(out)
 	}
+	s.shapes = obs.NewShapeRegistry(cfg.MaxShapes)
+	s.ring = obs.NewTraceRing(cfg.TraceRingSize)
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/queries/", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/shapes", s.handleDebugShapes)
+	s.mux.HandleFunc("/debug/dash", s.handleDebugDash)
 	return s
 }
 
@@ -464,14 +501,23 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, "sparql: missing query", http.StatusBadRequest)
 		return
 	}
-	// Tracing is armed per request: always for EXPLAIN ANALYZE, and on
-	// every query when the slow-query log is on (the log's top-spans
-	// report comes from the trace). Unarmed queries keep the
-	// evaluator's one-nil-check fast path.
+	// Tracing is armed per request: always for EXPLAIN ANALYZE, for one
+	// in every TraceSampleRate requests (deterministic off the request
+	// counter, so a steady workload is sampled evenly), and on every
+	// query when the slow-query log is on (the log's top-spans report
+	// comes from the trace). Unarmed queries keep the evaluator's
+	// one-nil-check fast path.
 	explain := param(r, "explain") == "analyze"
+	sampled := false
+	if n := s.cfg.TraceSampleRate; n > 0 {
+		sampled = s.reqCount.Add(1)%uint64(n) == 0
+	}
 	var tr *obs.Trace
-	if explain || s.slowLog != nil {
+	if explain || sampled || s.slowLog != nil {
 		tr = obs.New("query")
+	}
+	if sampled {
+		s.m.sampledTrace()
 	}
 	var psp *obs.Span
 	if tr != nil {
@@ -491,6 +537,22 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	// Workload accounting: every request that compiled folds into the
+	// shape registry on the way out, whatever its fate — shed, rejected,
+	// timed out, failed, or served — so the per-shape aggregates see the
+	// workload the server actually faced, not just its successes.
+	smp := obs.ShapeSample{
+		Fingerprint: prep.Fingerprint(),
+		Class:       sparql.ClassifyShape(prep.Query()).String(),
+		Example:     text,
+		CacheHit:    cached,
+		Sampled:     sampled,
+	}
+	defer func() {
+		smp.DurationMs = float64(time.Since(arrival)) / float64(time.Millisecond)
+		s.shapes.Observe(smp)
+	}()
 
 	// The deadline covers queueing and evaluation alike: a query that
 	// waited out its budget in the admission queue is rejected, and one
@@ -521,12 +583,14 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		if shed {
 			s.admit.waiting.Add(-1)
 			s.m.shed()
+			smp.Shed = true
 			s.httpError(w, r, "sparql: server overloaded, query shed", http.StatusServiceUnavailable)
 			return
 		}
 		if newPar < par {
 			par = newPar
 			s.m.degrade()
+			smp.Degraded = true
 		}
 	}
 	ctx, cancel := context.WithTimeout(rctx, s.queryTimeout(r))
@@ -542,6 +606,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			s.admit.waiting.Add(-1)
 		}
 		s.m.reject()
+		smp.Err = true
 		s.httpError(w, r, "sparql: server at capacity", http.StatusServiceUnavailable)
 		return
 	}
@@ -551,7 +616,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	execStart := time.Now()
 	sol, info, err := s.run(ctx, prep, par, tr)
 	execDur := time.Since(execStart)
+	smp.Route = info.route
+	smp.Bytes = info.bytes
+	smp.Hedges = int(info.hedges)
+	smp.Speculation = int(info.speculations)
 	if err != nil {
+		smp.Err = true
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.m.timeout()
 			s.httpError(w, r, "sparql: query deadline exceeded", http.StatusGatewayTimeout)
@@ -585,6 +655,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	rows := sol.Len()
+	if sol.IsGraph() {
+		rows = len(sol.Graph())
+	}
+	smp.Rows = rows
+
 	if explain {
 		// EXPLAIN ANALYZE: the query ran for real — the trace carries
 		// actual row counts next to the planner's estimates — but the
@@ -597,8 +673,10 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(append(tr.JSON(), '\n'))
 		}
-		s.m.observe(time.Since(arrival))
+		total := time.Since(arrival)
+		s.m.observe(total)
 		s.m.observeStages(execDur, 0)
+		s.retainTrace(r, text, prep, tr, info, total, explain, sampled)
 		return
 	}
 
@@ -621,41 +699,75 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 	serDur := time.Since(serStart)
 	if tr != nil {
-		rows := sol.Len()
-		if sol.IsGraph() {
-			rows = len(sol.Graph())
-		}
 		ssp.SetInt("rows", int64(rows))
 		tr.End(ssp)
 	}
 	if werr != nil {
 		// Headers are out; all we can do is stop streaming.
 		s.m.timeout()
+		smp.Err = true
 		return
 	}
 	total := time.Since(arrival)
 	s.m.observe(total)
 	s.m.observeStages(execDur, serDur)
-	s.logSlowQuery(r, text, tr, info, total)
+	s.logSlowQuery(r, text, prep.Fingerprint(), tr, info, total)
+	s.retainTrace(r, text, prep, tr, info, total, explain, sampled)
+}
+
+// retainTrace parks a finished request's span tree in the trace ring
+// when something armed it worth keeping: an EXPLAIN ANALYZE run, a
+// sampled request, or a query that crossed the slow threshold. (When
+// only the slow-query log armed tracing, fast queries' traces are
+// dropped — retaining every request would churn the ring into a plain
+// recent-queries list.)
+func (s *Server) retainTrace(r *http.Request, text string, prep *sparql.Prepared, tr *obs.Trace, info runInfo, total time.Duration, explain, sampled bool) {
+	if tr == nil {
+		return
+	}
+	var reason string
+	switch {
+	case explain:
+		reason = "explain"
+	case sampled:
+		reason = "sampled"
+	case s.slowLog != nil && total >= s.cfg.SlowQueryThreshold:
+		reason = "slow"
+	default:
+		return
+	}
+	tr.Finish()
+	s.ring.Add(obs.RetainedTrace{
+		RequestID:   requestID(r),
+		Fingerprint: prep.Fingerprint(),
+		Query:       text,
+		Route:       info.route,
+		Reason:      reason,
+		DurationMs:  float64(total) / float64(time.Millisecond),
+		Status:      http.StatusOK,
+		When:        time.Now(),
+		Trace:       tr,
+	})
 }
 
 // logSlowQuery records one served query in the slow-query log when the
 // log is armed and the end-to-end latency reached the threshold.
-func (s *Server) logSlowQuery(r *http.Request, text string, tr *obs.Trace, info runInfo, total time.Duration) {
+func (s *Server) logSlowQuery(r *http.Request, text, fingerprint string, tr *obs.Trace, info runInfo, total time.Duration) {
 	if s.slowLog == nil || total < s.cfg.SlowQueryThreshold {
 		return
 	}
 	tr.Finish()
 	s.slowLog.Log(obs.SlowQueryEntry{
-		RequestID:     requestID(r),
-		QueryHash:     obs.QueryHash(text),
-		Route:         info.route,
-		Shards:        info.shards,
-		ShardsTouched: info.touched,
-		Hedges:        info.hedges,
-		Speculations:  info.speculations,
-		DurationMs:    float64(total) / float64(time.Millisecond),
-		TopSpans:      tr.TopSelf(3),
+		RequestID:       requestID(r),
+		QueryHash:       obs.QueryHash(text),
+		PlanFingerprint: fingerprint,
+		Route:           info.route,
+		Shards:          info.shards,
+		ShardsTouched:   info.touched,
+		Hedges:          info.hedges,
+		Speculations:    info.speculations,
+		DurationMs:      float64(total) / float64(time.Millisecond),
+		TopSpans:        tr.TopSelf(3),
 	})
 }
 
@@ -665,6 +777,7 @@ type runInfo struct {
 	route                string
 	shards, touched      int
 	hedges, speculations int64
+	bytes                int64 // bytes charged against the memory budget
 }
 
 // run evaluates one admitted query at the parallelism admission
@@ -735,7 +848,7 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *o
 		s.m.observeBytes(rs.BytesCharged)
 		return sol, runInfo{
 			route: string(st.Route), shards: st.Shards, touched: st.ShardsTouched,
-			hedges: fs.Hedges, speculations: fs.Speculations,
+			hedges: fs.Hedges, speculations: fs.Speculations, bytes: rs.BytesCharged,
 		}, err
 	}
 	if s.engine == nil {
@@ -746,7 +859,7 @@ func (s *Server) eval(ctx context.Context, prep *sparql.Prepared, par int, tr *o
 		s.m.observeExec(rs)
 		s.m.observeFault(fs)
 		s.m.observeBytes(rs.BytesCharged)
-		return sol, runInfo{route: "local", speculations: fs.Speculations}, err
+		return sol, runInfo{route: "local", speculations: fs.Speculations, bytes: rs.BytesCharged}, err
 	}
 	s.engineMu.Lock()
 	defer s.engineMu.Unlock()
@@ -855,6 +968,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	body["faults"] = faults
+	body["workload"] = map[string]any{
+		"shapes_tracked":    s.shapes.Len(),
+		"shape_capacity":    s.shapes.Capacity(),
+		"shape_evictions":   s.shapes.Evictions(),
+		"trace_sample_rate": s.cfg.TraceSampleRate,
+		"sampled_traces":    s.m.sampledSnapshot(),
+		"trace_ring": map[string]any{
+			"size":     s.ring.Len(),
+			"capacity": s.ring.Cap(),
+		},
+		"top_shapes": s.shapes.TopK(10),
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)
 }

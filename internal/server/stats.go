@@ -86,6 +86,10 @@ type metrics struct {
 	budgetAborts    uint64
 	bytesCharged    uint64
 	peakQueryBytes  int64
+
+	// Workload-observatory counter: requests picked by the 1-in-N trace
+	// sampler (Config.TraceSampleRate).
+	sampledTraces uint64
 }
 
 func newMetrics() *metrics {
@@ -196,6 +200,16 @@ func (m *metrics) shed() { m.mu.Lock(); m.shedQueries++; m.rejected++; m.mu.Unlo
 
 // degrade records one query admitted at reduced parallelism.
 func (m *metrics) degrade() { m.mu.Lock(); m.degradedQueries++; m.mu.Unlock() }
+
+// sampledTrace records one request armed by the trace sampler.
+func (m *metrics) sampledTrace() { m.mu.Lock(); m.sampledTraces++; m.mu.Unlock() }
+
+// sampledSnapshot reads the sampled-trace counter.
+func (m *metrics) sampledSnapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampledTraces
+}
 
 // budgetAbort records one query aborted by its memory budget.
 func (m *metrics) budgetAbort() { m.mu.Lock(); m.budgetAborts++; m.failed++; m.mu.Unlock() }

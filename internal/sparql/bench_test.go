@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const benchJoinRows = 8192
@@ -123,6 +125,49 @@ func BenchmarkEvalBGPParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEvalSampledTracing measures what arming a trace costs a
+// full prepared run — the price the server pays on the one-in-N
+// sampled requests of the workload observatory. "untraced" is the
+// disarmed fast path (one nil check per operator, same run the
+// BenchmarkEvalBGPParallel/p1 alloc guard pins); "traced" carries a
+// live span tree. The gap is the sampling budget CI watches.
+func BenchmarkEvalSampledTracing(b *testing.B) {
+	g := joinTestGraph(1 << 16)
+	g.Encoded()
+	g.Stats()
+	prep, err := Prepare(`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := prep.RunSolutions(ctx, g, WithParallelism(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Len() != 1<<16 {
+				b.Fatalf("scan produced %d rows", sol.Len())
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.New("query")
+			sol, err := prep.RunSolutions(ctx, g, WithParallelism(1), WithTrace(tr))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+			if sol.Len() != 1<<16 {
+				b.Fatalf("scan produced %d rows", sol.Len())
+			}
+		}
+	})
 }
 
 // BenchmarkEvalTopK compares ORDER BY+LIMIT under the bounded top-K

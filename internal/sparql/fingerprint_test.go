@@ -1,0 +1,130 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+func fpOf(t *testing.T, text string) string {
+	t.Helper()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return FingerprintQuery(q)
+}
+
+var fpHex = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestFingerprintLiteralInvariance pins the core normalization: two
+// queries that differ only in the data they mention — literal values,
+// subject/object entity constants, variable spellings, LIMIT/OFFSET
+// arguments — share a fingerprint.
+func TestFingerprintLiteralInvariance(t *testing.T) {
+	same := [][2]string{
+		{ // literal object values
+			`SELECT ?s WHERE { ?s <http://ex/name> "alice" }`,
+			`SELECT ?s WHERE { ?s <http://ex/name> "bob" }`,
+		},
+		{ // FILTER comparison constants
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a . FILTER(?a > 10) }`,
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a . FILTER(?a > 99) }`,
+		},
+		{ // subject entity constants
+			`SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }`,
+			`SELECT ?n WHERE { <http://ex/bob> <http://ex/name> ?n }`,
+		},
+		{ // variable spellings
+			`SELECT ?s ?n WHERE { ?s <http://ex/name> ?n . ?s <http://ex/age> ?a }`,
+			`SELECT ?person ?name WHERE { ?person <http://ex/name> ?name . ?person <http://ex/age> ?years }`,
+		},
+		{ // LIMIT argument
+			`SELECT ?s WHERE { ?s <http://ex/name> ?n } LIMIT 10`,
+			`SELECT ?s WHERE { ?s <http://ex/name> ?n } LIMIT 500`,
+		},
+	}
+	for i, pair := range same {
+		a, b := fpOf(t, pair[0]), fpOf(t, pair[1])
+		if !fpHex.MatchString(a) {
+			t.Fatalf("case %d: fingerprint %q is not 16 hex digits", i, a)
+		}
+		if a != b {
+			t.Errorf("case %d: same shape hashed differently:\n  %s -> %s\n  %s -> %s",
+				i, pair[0], a, pair[1], b)
+		}
+	}
+}
+
+// TestFingerprintStructureSensitivity pins the other direction:
+// structural differences — predicate identity, the join graph,
+// modifiers — change the fingerprint.
+func TestFingerprintStructureSensitivity(t *testing.T) {
+	diff := [][2]string{
+		{ // predicate identity is structure
+			`SELECT ?s WHERE { ?s <http://ex/name> ?n }`,
+			`SELECT ?s WHERE { ?s <http://ex/age> ?n }`,
+		},
+		{ // join graph: chain vs star over the same predicates
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o . ?o <http://ex/q> ?x }`,
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o . ?s <http://ex/q> ?x }`,
+		},
+		{ // pattern count
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o . ?s <http://ex/p> ?o2 }`,
+		},
+		{ // DISTINCT is structure
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+			`SELECT DISTINCT ?s WHERE { ?s <http://ex/p> ?o }`,
+		},
+		{ // LIMIT presence is structure (its value is not)
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o } LIMIT 10`,
+		},
+		{ // ORDER BY direction is structure
+			`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } ORDER BY ?o`,
+			`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } ORDER BY DESC(?o)`,
+		},
+		{ // term kind of a constant is structure
+			`SELECT ?s WHERE { ?s <http://ex/p> "v" }`,
+			`SELECT ?s WHERE { ?s <http://ex/p> <http://ex/v> }`,
+		},
+		{ // form is structure
+			`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+			`ASK { ?s <http://ex/p> ?o }`,
+		},
+	}
+	for i, pair := range diff {
+		a, b := fpOf(t, pair[0]), fpOf(t, pair[1])
+		if a == b {
+			t.Errorf("case %d: structurally different queries collided on %s:\n  %s\n  %s",
+				i, a, pair[0], pair[1])
+		}
+	}
+}
+
+// TestFingerprintSweepOneShape is the registry-cardinality contract
+// from the workload observatory: 10k distinct query texts of one shape
+// — a point lookup with ever-changing literals — produce exactly one
+// fingerprint, and Prepare memoizes the same hash.
+func TestFingerprintSweepOneShape(t *testing.T) {
+	want := ""
+	for i := 0; i < 10000; i++ {
+		text := fmt.Sprintf(`SELECT ?s WHERE { ?s <http://ex/name> "user-%d" } LIMIT %d`, i, i+1)
+		prep, err := Prepare(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prep.Fingerprint()
+		if want == "" {
+			want = got
+			if got != FingerprintQuery(prep.Query()) {
+				t.Fatalf("Prepared.Fingerprint %s != FingerprintQuery %s", got, FingerprintQuery(prep.Query()))
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("text %d hashed to %s, want %s", i, got, want)
+		}
+	}
+}

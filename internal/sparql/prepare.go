@@ -26,10 +26,11 @@ import (
 // Cached plans are never mutated after publication, so concurrent runs
 // share them without copying.
 type Prepared struct {
-	q         *Query
-	vars      []Var
-	slots     map[Var]int
-	limitHint int
+	q           *Query
+	vars        []Var
+	slots       map[Var]int
+	limitHint   int
+	fingerprint string // normalized shape hash (fingerprint.go)
 
 	mu       sync.Mutex
 	planView *rdf.EncodedView
@@ -69,7 +70,13 @@ func PrepareQuery(q *Query) *Prepared {
 	for i, v := range vars {
 		slots[v] = i
 	}
-	return &Prepared{q: q, vars: vars, slots: slots, limitHint: limitHintFor(q)}
+	return &Prepared{
+		q:           q,
+		vars:        vars,
+		slots:       slots,
+		limitHint:   limitHintFor(q),
+		fingerprint: FingerprintQuery(q),
+	}
 }
 
 // Query returns the parsed query. Callers must treat it as read-only.
